@@ -1,0 +1,247 @@
+// Command varbench regenerates the tables and figures of "Accounting for
+// Variance in Machine Learning Benchmarks" (MLSys 2021) on the synthetic
+// case studies of this repository.
+//
+// Usage:
+//
+//	varbench <experiment> [flags]
+//
+// Experiments: fig1 fig2 fig3 fig5 figH5 fig6 figC1 figF2 figG3 figI6
+// table8 spaces env all
+//
+// Flags:
+//
+//	-quick        reduced budget (minutes instead of hours)
+//	-tasks list   comma-separated case-study names (default: all five)
+//	-seed n       base seed for all experiments (default 1)
+//	-csv          also emit raw tables as CSV to stdout where applicable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/estimator"
+	"varbench/internal/experiments"
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "varbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("varbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced experiment budget")
+	tasks := fs.String("tasks", "", "comma-separated case studies (default all)")
+	seed := fs.Uint64("seed", 1, "base seed")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: varbench <experiment> [flags]")
+		fmt.Fprintln(fs.Output(), "experiments: fig1 fig2 fig3 fig5 figH5 fig6 figC1 figF2 figG3 figI6 table8 appendixC spaces env all")
+		fs.PrintDefaults()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing experiment name")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	budget := experiments.Full()
+	if *quick {
+		budget = experiments.Quick()
+	}
+	var taskNames []string
+	if *tasks != "" {
+		taskNames = strings.Split(*tasks, ",")
+	}
+	studies, err := experiments.Studies(taskNames)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	defer func() {
+		fmt.Fprintf(w, "\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}()
+
+	switch name {
+	case "fig1":
+		return runFig1(w, studies, budget, *seed)
+	case "fig2":
+		return runFig2(w, studies, budget, *seed)
+	case "fig3":
+		return runFig3(w, studies, budget, *seed)
+	case "fig5", "figH4":
+		return runFig5(w, studies, budget, *seed, false)
+	case "figH5":
+		return runFig5(w, studies, budget, *seed, true)
+	case "fig6":
+		return runFig6(w, studies, budget, *seed)
+	case "figC1":
+		return experiments.FigC1(0.05, 0.05).Render(w)
+	case "figF2":
+		res, err := experiments.FigF2(studies, budget, *seed)
+		if err != nil {
+			return err
+		}
+		reportIssues(w, "figF2", res.CheckShape())
+		return res.Render(w)
+	case "figG3":
+		res, err := experiments.FigG3(studies, budget, *seed)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := res.RenderHistograms(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "share of distributions consistent with normality: %.2f\n", res.NormalShare())
+		return nil
+	case "figI6":
+		res, err := experiments.FigI6(experiments.DefaultModelStats(), budget, *seed)
+		if err != nil {
+			return err
+		}
+		reportIssues(w, "figI6", res.CheckShape())
+		return res.Render(w)
+	case "table8":
+		res, err := experiments.Table8(*seed)
+		if err != nil {
+			return err
+		}
+		reportIssues(w, "table8", res.CheckShape())
+		return res.Render(w)
+	case "appendixC":
+		res, err := experiments.AppendixC(0.75, *seed)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	case "spaces":
+		return experiments.RenderSpaces(w, studies)
+	case "env":
+		return experiments.RenderEnv(w)
+	case "all":
+		for _, sub := range []string{"env", "spaces", "fig1", "fig2", "fig3", "fig5",
+			"figH5", "fig6", "figC1", "figF2", "figG3", "figI6", "table8", "appendixC"} {
+			fmt.Fprintf(w, "\n===== %s =====\n", sub)
+			rebuilt := append([]string{sub}, args[1:]...)
+			if err := run(rebuilt, w); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func runFig1(w io.Writer, studies []*casestudy.Study, b experiments.Budget, seed uint64) error {
+	res, err := experiments.Fig1(studies, b, seed)
+	if err != nil {
+		return err
+	}
+	reportIssues(w, "fig1", res.CheckShape())
+	return res.Render(w)
+}
+
+func runFig2(w io.Writer, studies []*casestudy.Study, b experiments.Budget, seed uint64) error {
+	// Figure 2 only concerns the classification tasks with accuracy
+	// metrics; filter the segmentation and regression studies out.
+	var cls []*casestudy.Study
+	for _, s := range studies {
+		switch s.Name() {
+		case "pascalvoc-resnet", "mhc-mlp":
+		default:
+			cls = append(cls, s)
+		}
+	}
+	res, err := experiments.Fig2(cls, b, seed)
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}
+
+func runFig3(w io.Writer, studies []*casestudy.Study, b experiments.Budget, seed uint64) error {
+	// Measure the data-split σ (in accuracy points) of the two tasks with
+	// embedded SOTA timelines.
+	sigmas := map[string]float64{}
+	for _, want := range []struct{ study, timeline string }{
+		{"cifar10-vgg11", "cifar10"},
+		{"sst2-bert", "sst2"},
+	} {
+		s, err := casestudy.ByName(want.study, experiments.StructSeed)
+		if err != nil {
+			return err
+		}
+		m, err := estimator.SourceMeasures(s, s.Defaults(), xrand.VarDataSplit,
+			b.SeedsPerSource, seed)
+		if err != nil {
+			return err
+		}
+		sigmas[want.timeline] = 100 * stats.Std(m)
+		fmt.Fprintf(w, "measured σ(%s) = %.3f%% accuracy\n", want.study, sigmas[want.timeline])
+	}
+	res, err := experiments.Fig3(sigmas, 0.05)
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}
+
+func runFig5(w io.Writer, studies []*casestudy.Study, b experiments.Budget, seed uint64, h5 bool) error {
+	res, err := experiments.Fig5(studies, b, seed)
+	if err != nil {
+		return err
+	}
+	reportIssues(w, "fig5", res.CheckShape())
+	if h5 {
+		return res.RenderH5(w)
+	}
+	return res.Render(w)
+}
+
+func runFig6(w io.Writer, studies []*casestudy.Study, b experiments.Budget, seed uint64) error {
+	// Derive the simulation models from a fig5-style measurement on the
+	// first selected study, then run the detection-rate sweep.
+	sub := studies[:1]
+	fmt.Fprintf(w, "deriving simulation model from %s ...\n", sub[0].Name())
+	f5, err := experiments.Fig5(sub, b, seed)
+	if err != nil {
+		return err
+	}
+	sigma2, biasVar, withinVar := f5.Tasks[0].SimulationModel()
+	ms := experiments.ModelStats{
+		Task: sub[0].Name(), Sigma2: sigma2, BiasVar: biasVar, WithinVar: withinVar,
+	}
+	fmt.Fprintf(w, "σ²=%.3g biasVar=%.3g withinVar=%.3g\n", sigma2, biasVar, withinVar)
+	res, err := experiments.Fig6(ms, b, seed)
+	if err != nil {
+		return err
+	}
+	reportIssues(w, "fig6", res.CheckShape())
+	return res.Render(w)
+}
+
+func reportIssues(w io.Writer, name string, issues []string) {
+	for _, i := range issues {
+		fmt.Fprintf(w, "[%s shape warning] %s\n", name, i)
+	}
+}

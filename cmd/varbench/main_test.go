@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing experiment should error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"figZZ"}, &buf); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunUnknownTask(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"fig1", "-quick", "-tasks", "nope"}, &buf); err == nil {
+		t.Fatal("unknown task should error")
+	}
+}
+
+func TestRunFigC1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"figC1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "N=29") {
+		t.Errorf("figC1 output missing recommendation: %s", out)
+	}
+	if !strings.Contains(out, "completed in") {
+		t.Error("missing timing footer")
+	}
+}
+
+func TestRunSpacesAndEnv(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"spaces", "-tasks", "mhc-mlp"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hidden") {
+		t.Error("spaces output missing hyperparameter")
+	}
+	buf.Reset()
+	if err := run([]string{"env"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "go version") {
+		t.Error("env output missing go version")
+	}
+}
+
+func TestRunFigI6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"figI6", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "prob-outperform") {
+		t.Error("figI6 output missing criterion column")
+	}
+}
+
+func TestRunTable8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"table8", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, model := range []string{"MLP-MHC", "NetMHCpan4-like", "MHCflurry-like"} {
+		if !strings.Contains(out, model) {
+			t.Errorf("table8 missing %s", model)
+		}
+	}
+}

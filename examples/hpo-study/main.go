@@ -1,0 +1,91 @@
+// HPO-study: run the three hyperparameter-optimization algorithms the paper
+// studies (noisy grid search, random search, Bayesian optimization) on one
+// case study and plot their best-so-far validation curves — a miniature of
+// Figure F.2. Repeating with -reps > 1 also shows the ξH variance: the same
+// optimizer with a different search seed lands on different hyperparameters.
+//
+// Run: go run ./examples/hpo-study [-task name] [-budget trials] [-reps n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/hpo"
+	"varbench/internal/pipeline"
+	"varbench/internal/report"
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+func main() {
+	taskName := flag.String("task", "tiny", "case study name (tiny is fastest)")
+	budget := flag.Int("budget", 16, "trials per optimization (paper: 200)")
+	reps := flag.Int("reps", 3, "independent ξH repetitions (paper: 20)")
+	flag.Parse()
+
+	var task *casestudy.Study
+	var err error
+	if *taskName == "tiny" {
+		task = casestudy.Tiny(1)
+	} else if task, err = casestudy.ByName(*taskName, 20210301); err != nil {
+		log.Fatal(err)
+	}
+
+	base := xrand.NewStreams(5)
+	split, err := task.Split(base.Get(xrand.VarDataSplit))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	optimizers := []hpo.Optimizer{
+		hpo.NoisyGrid{},
+		hpo.RandomSearch{},
+		hpo.BayesOpt{InitRandom: 4},
+	}
+
+	var series []report.Series
+	tb := &report.Table{
+		Title:   fmt.Sprintf("HPO comparison — %s, budget %d, %d reps", task.Name(), *budget, *reps),
+		Headers: []string{"optimizer", "final valid err (mean)", "ξH std", "best params (rep 0)"},
+	}
+	for _, opt := range optimizers {
+		finals := make([]float64, 0, *reps)
+		var curve []float64
+		var bestParams hpo.Params
+		for rep := 0; rep < *reps; rep++ {
+			streams := xrand.NewStreams(5)
+			streams.Reseed(xrand.VarHOpt, uint64(100+rep))
+			res, err := pipeline.HOpt(task, opt, *budget, split, streams)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bsf := res.History.BestSoFar()
+			if rep == 0 {
+				curve = bsf
+				bestParams = res.Best
+			}
+			finals = append(finals, bsf[len(bsf)-1])
+		}
+		tb.AddRow(opt.Name(), stats.Mean(finals), stats.Std(finals), bestParams.String())
+		s := report.Series{Name: opt.Name()}
+		for i, v := range curve {
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, v)
+		}
+		series = append(series, s)
+	}
+
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := report.LinePlot(os.Stdout, "best-so-far validation error (rep 0)", series, 60, 12); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe ξH std column is the hyperparameter-optimization variance of")
+	fmt.Println("Figure 1: even 'the same tuning procedure' is a noisy measurement.")
+}

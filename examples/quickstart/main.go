@@ -1,0 +1,65 @@
+// Quickstart: the paper's recommended benchmarking protocol in ~40 lines.
+//
+// Two "algorithms" (the same small image-classification pipeline with two
+// different learning rates) are compared the right way:
+//
+//  1. ask for the sample size the test needs (Noether: 29 pairs at γ=0.75),
+//  2. run both pipelines under shared, fresh seeds — every run randomizes
+//     the data split, initialization, data order, dropout and augmentation,
+//  3. conclude with the probability of outperforming P(A>B) and its
+//     bootstrap confidence interval, not with a bare average difference.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"varbench"
+	"varbench/internal/casestudy"
+	"varbench/internal/hpo"
+	"varbench/internal/pipeline"
+	"varbench/internal/xrand"
+)
+
+func main() {
+	task := casestudy.Tiny(1)
+
+	// A RunFunc executes one full benchmark measurement: fresh seeds for
+	// every source of variation, derived from the seed varbench hands us.
+	runner := func(params hpo.Params) varbench.RunFunc {
+		return func(seed uint64) (float64, error) {
+			return pipeline.RunWithParams(task, params, xrand.NewStreams(seed))
+		}
+	}
+
+	algoA := task.Defaults() // lr = 0.05
+	algoB := task.Defaults()
+	algoB["lr"] = 0.004 // deliberately too small: slower convergence
+
+	n := varbench.SampleSize(varbench.DefaultGamma)
+	fmt.Printf("collecting %d paired measurements per algorithm...\n", n)
+
+	scoresA, scoresB, err := varbench.CollectPaired(runner(algoA), runner(algoB), n, 2021)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("A: %+v\n", varbench.Summarize(scoresA))
+	fmt.Printf("B: %+v\n", varbench.Summarize(scoresB))
+
+	result, err := varbench.Compare(scoresA, scoresB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result)
+	switch result.Conclusion {
+	case varbench.SignificantAndMeaningful:
+		fmt.Println("=> adopt algorithm A")
+	case varbench.SignificantNotMeaningful:
+		fmt.Println("=> A is reliably but negligibly better; not worth switching")
+	default:
+		fmt.Println("=> no reliable difference; the gap is within benchmark noise")
+	}
+}

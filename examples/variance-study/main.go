@@ -1,0 +1,67 @@
+// Variance study: measure how much each source of variation (data split,
+// augmentation, data order, weight init, dropout, hyperparameter
+// optimization) contributes to the spread of a benchmark's results — a
+// miniature of the paper's Figure 1 on one case study.
+//
+// Run: go run ./examples/variance-study [-task name] [-n seeds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/estimator"
+	"varbench/internal/hpo"
+	"varbench/internal/report"
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+func main() {
+	taskName := flag.String("task", "rte-bert", "case study name")
+	n := flag.Int("n", 15, "seeds per source (paper: 200)")
+	hoptBudget := flag.Int("budget", 10, "HPO trial budget (paper: 200)")
+	flag.Parse()
+
+	task, err := casestudy.ByName(*taskName, 20210301)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := &report.Table{
+		Title:   fmt.Sprintf("Sources of variation — %s (n=%d seeds each)", task.Name(), *n),
+		Headers: []string{"source", "std", "relative to data split"},
+	}
+
+	var refStd float64
+	for _, v := range task.Sources() {
+		measures, err := estimator.SourceMeasures(task, task.Defaults(), v, *n, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sd := stats.Std(measures)
+		if v == xrand.VarDataSplit {
+			refStd = sd
+		}
+		tb.AddRow(string(v), sd, sd/refStd)
+	}
+
+	// ξH: rerun the hyperparameter search with different search seeds.
+	for _, opt := range []hpo.Optimizer{hpo.RandomSearch{}, hpo.NoisyGrid{}, hpo.BayesOpt{}} {
+		measures, err := estimator.HOptMeasures(task, opt, *hoptBudget, 5, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sd := stats.Std(measures)
+		tb.AddRow(opt.Name(), sd, sd/refStd)
+	}
+
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading the table: if any row rivals the data-split row, ignoring")
+	fmt.Println("that source in your benchmark makes its conclusions unreliable.")
+}

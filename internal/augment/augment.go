@@ -1,0 +1,89 @@
+// Package augment implements seedable stochastic data augmentation, one of
+// the ξO sources of variation studied in Figure 1. Augmentations draw their
+// randomness from a dedicated stream (xrand.VarAugment) so the benchmark can
+// vary augmentation noise in isolation, and they are approximately
+// label-preserving for the synthetic tasks: small feature jitter, occlusion
+// masking (the random-crop analogue) and multiplicative scaling (the
+// brightness analogue).
+package augment
+
+import (
+	"varbench/internal/tensor"
+	"varbench/internal/xrand"
+)
+
+// Augmenter perturbs one feature row in place using randomness from r.
+type Augmenter interface {
+	Apply(row []float64, r *xrand.Source)
+}
+
+// Jitter adds isotropic Gaussian noise with standard deviation Std.
+type Jitter struct {
+	Std float64
+}
+
+// Apply implements Augmenter.
+func (j Jitter) Apply(row []float64, r *xrand.Source) {
+	for i := range row {
+		row[i] += j.Std * r.NormFloat64()
+	}
+}
+
+// Mask zeroes a random contiguous block covering Frac of the features: the
+// vector analogue of random cropping / cutout occlusion.
+type Mask struct {
+	Frac float64
+}
+
+// Apply implements Augmenter.
+func (m Mask) Apply(row []float64, r *xrand.Source) {
+	w := int(m.Frac * float64(len(row)))
+	if w <= 0 {
+		return
+	}
+	if w >= len(row) {
+		w = len(row) - 1
+	}
+	start := r.Intn(len(row) - w + 1)
+	for i := start; i < start+w; i++ {
+		row[i] = 0
+	}
+}
+
+// Scale multiplies the whole row by a factor drawn uniformly from
+// [1-Range, 1+Range]: the brightness/contrast analogue.
+type Scale struct {
+	Range float64
+}
+
+// Apply implements Augmenter.
+func (s Scale) Apply(row []float64, r *xrand.Source) {
+	f := r.Uniform(1-s.Range, 1+s.Range)
+	for i := range row {
+		row[i] *= f
+	}
+}
+
+// Pipeline applies augmenters in sequence.
+type Pipeline []Augmenter
+
+// Apply implements Augmenter.
+func (p Pipeline) Apply(row []float64, r *xrand.Source) {
+	for _, a := range p {
+		a.Apply(row, r)
+	}
+}
+
+// Batch returns an augmented copy of the rows of x indexed by idx, leaving x
+// untouched. A nil augmenter just gathers the rows.
+func Batch(x *tensor.Matrix, idx []int, a Augmenter, r *xrand.Source) *tensor.Matrix {
+	out := tensor.NewMatrix(len(idx), x.Cols)
+	for i, j := range idx {
+		row := out.Row(i)
+		copy(row, x.Row(j))
+		if a != nil {
+			a.Apply(row, r)
+		}
+	}
+	return out
+}

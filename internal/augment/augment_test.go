@@ -1,0 +1,120 @@
+package augment
+
+import (
+	"math"
+	"testing"
+
+	"varbench/internal/tensor"
+	"varbench/internal/xrand"
+)
+
+func TestJitterMovesEveryFeature(t *testing.T) {
+	row := []float64{1, 2, 3, 4}
+	orig := append([]float64(nil), row...)
+	Jitter{Std: 0.5}.Apply(row, xrand.New(1))
+	for i := range row {
+		if row[i] == orig[i] {
+			t.Fatalf("feature %d unchanged", i)
+		}
+	}
+}
+
+func TestJitterMagnitude(t *testing.T) {
+	r := xrand.New(2)
+	const n = 20000
+	row := make([]float64, n)
+	Jitter{Std: 0.3}.Apply(row, r)
+	var sq float64
+	for _, v := range row {
+		sq += v * v
+	}
+	std := math.Sqrt(sq / n)
+	if math.Abs(std-0.3) > 0.01 {
+		t.Errorf("jitter std = %v, want 0.3", std)
+	}
+}
+
+func TestMaskZeroesContiguousBlock(t *testing.T) {
+	row := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	Mask{Frac: 0.3}.Apply(row, xrand.New(3))
+	zeros, first, last := 0, -1, -1
+	for i, v := range row {
+		if v == 0 {
+			zeros++
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if zeros != 3 {
+		t.Fatalf("masked %d features, want 3", zeros)
+	}
+	if last-first+1 != zeros {
+		t.Fatal("mask is not contiguous")
+	}
+}
+
+func TestMaskEdgeCases(t *testing.T) {
+	row := []float64{1, 2}
+	Mask{Frac: 0}.Apply(row, xrand.New(1))
+	if row[0] != 1 || row[1] != 2 {
+		t.Fatal("zero-fraction mask changed data")
+	}
+	// Frac ≥ 1 must never wipe the whole row.
+	row = []float64{1, 2, 3}
+	Mask{Frac: 5}.Apply(row, xrand.New(1))
+	nonzero := 0
+	for _, v := range row {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("mask wiped entire row")
+	}
+}
+
+func TestScaleRange(t *testing.T) {
+	row := []float64{2, 4}
+	Scale{Range: 0.1}.Apply(row, xrand.New(4))
+	f := row[0] / 2
+	if f < 0.9 || f > 1.1 {
+		t.Fatalf("scale factor %v outside [0.9, 1.1]", f)
+	}
+	if math.Abs(row[1]/4-f) > 1e-12 {
+		t.Fatal("scale not uniform across features")
+	}
+}
+
+func TestPipelineOrderAndSeeding(t *testing.T) {
+	p := Pipeline{Jitter{Std: 0.1}, Scale{Range: 0.2}}
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	p.Apply(a, xrand.New(9))
+	p.Apply(b, xrand.New(9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed gave different augmentation")
+		}
+	}
+}
+
+func TestBatchLeavesSourceUntouched(t *testing.T) {
+	x := tensor.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	orig := append([]float64(nil), x.Data...)
+	out := Batch(x, []int{2, 0}, Jitter{Std: 1}, xrand.New(5))
+	if out.Rows != 2 || out.Cols != 2 {
+		t.Fatal("bad batch shape")
+	}
+	for i, v := range x.Data {
+		if v != orig[i] {
+			t.Fatal("augmentation mutated the dataset")
+		}
+	}
+	// nil augmenter = pure gather.
+	gathered := Batch(x, []int{1}, nil, nil)
+	if gathered.At(0, 0) != 3 || gathered.At(0, 1) != 4 {
+		t.Fatal("gather wrong")
+	}
+}

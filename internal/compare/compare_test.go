@@ -1,0 +1,202 @@
+package compare
+
+import (
+	"math"
+	"testing"
+
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+func makePairs(r *xrand.Source, n int, diff, sigma float64) []stats.Pair {
+	pairs := make([]stats.Pair, n)
+	for i := range pairs {
+		pairs[i] = stats.Pair{
+			A: r.Normal(diff, sigma),
+			B: r.Normal(0, sigma),
+		}
+	}
+	return pairs
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := SinglePoint{Delta: 0.5}
+	if !c.Detects([]stats.Pair{{A: 1.0, B: 0.2}}, nil) {
+		t.Error("should detect: diff 0.8 > 0.5")
+	}
+	if c.Detects([]stats.Pair{{A: 0.6, B: 0.2}}, nil) {
+		t.Error("should not detect: diff 0.4 < 0.5")
+	}
+	if c.Detects(nil, nil) {
+		t.Error("empty pairs should not detect")
+	}
+	// Only the first pair matters.
+	if c.Detects([]stats.Pair{{A: 0, B: 0}, {A: 9, B: 0}}, nil) {
+		t.Error("single point must ignore later pairs")
+	}
+}
+
+func TestAverageThreshold(t *testing.T) {
+	c := AverageThreshold{Delta: 0.5}
+	pairs := []stats.Pair{{A: 1, B: 0}, {A: 1.4, B: 0.2}}
+	// mean diff = (1 + 1.2)/2 = 1.1 > 0.5.
+	if !c.Detects(pairs, nil) {
+		t.Error("should detect")
+	}
+	if c.Detects([]stats.Pair{{A: 0.4, B: 0}}, nil) {
+		t.Error("should not detect small diff")
+	}
+}
+
+func TestPairedTDetectsConsistentDifference(t *testing.T) {
+	r := xrand.New(1)
+	pairs := make([]stats.Pair, 30)
+	for i := range pairs {
+		base := r.NormFloat64()
+		pairs[i] = stats.Pair{A: base + 0.5 + 0.1*r.NormFloat64(), B: base}
+	}
+	if !(PairedT{Alpha: 0.05}).Detects(pairs, nil) {
+		t.Error("paired t missed a consistent paired difference")
+	}
+	// Identical pairs: no detection, no NaN panic.
+	same := []stats.Pair{{A: 1, B: 1}, {A: 2, B: 2}, {A: 3, B: 3}}
+	if (PairedT{Alpha: 0.05}).Detects(same, nil) {
+		t.Error("identical pairs should not detect")
+	}
+}
+
+func TestPABEvaluateZones(t *testing.T) {
+	r := xrand.New(2)
+
+	// Strong dominance: significant and meaningful.
+	strong := makePairs(r, 60, 3, 1)
+	res, err := PAB{}.Evaluate(strong, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != SignificantAndMeaningful {
+		t.Errorf("strong dominance decision = %v (PAB=%v CI=%+v)",
+			res.Decision, res.PAB, res.CI)
+	}
+	if res.PAB < 0.9 {
+		t.Errorf("strong dominance PAB = %v", res.PAB)
+	}
+
+	// No difference: not significant.
+	null := makePairs(r, 60, 0, 1)
+	res, err = PAB{}.Evaluate(null, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision == SignificantAndMeaningful {
+		t.Errorf("null decision = %v (PAB=%v CI=%+v)", res.Decision, res.PAB, res.CI)
+	}
+
+	// Tiny but consistent difference with many samples: significant, not
+	// meaningful. diff chosen so true PAB ≈ 0.58.
+	small := makePairs(r, 4000, 0.29, 1)
+	res, err = PAB{}.Evaluate(small, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != SignificantNotMeaningful {
+		t.Errorf("small-effect decision = %v (PAB=%v CI=%+v)", res.Decision, res.PAB, res.CI)
+	}
+}
+
+func TestPABDefaults(t *testing.T) {
+	c := PAB{}
+	if c.gamma() != DefaultGamma || c.level() != 0.95 || c.boots() != 1000 {
+		t.Error("defaults wrong")
+	}
+	if _, err := c.Evaluate([]stats.Pair{{A: 1, B: 0}}, xrand.New(1)); err == nil {
+		t.Error("single pair should error")
+	}
+}
+
+func TestPABTieHandling(t *testing.T) {
+	// All ties: PAB = 0.5 exactly, never significant.
+	pairs := make([]stats.Pair, 40)
+	for i := range pairs {
+		pairs[i] = stats.Pair{A: 1, B: 1}
+	}
+	res, err := PAB{}.Evaluate(pairs, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PAB != 0.5 || res.Decision != NotSignificant {
+		t.Errorf("all-tied: PAB=%v decision=%v", res.PAB, res.Decision)
+	}
+}
+
+func TestOracleCalibration(t *testing.T) {
+	// Under H0 the oracle must false-positive at ≈ alpha.
+	r := xrand.New(4)
+	oracle := Oracle{Sigma: 1, Alpha: 0.05}
+	const trials = 2000
+	fp := 0
+	for i := 0; i < trials; i++ {
+		if oracle.Detects(makePairs(r, 50, 0, 1), nil) {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate < 0.02 || rate > 0.09 {
+		t.Errorf("oracle false-positive rate = %v, want ≈0.05", rate)
+	}
+	// Under strong H1 the oracle detects almost always.
+	det := 0
+	for i := 0; i < 200; i++ {
+		if oracle.Detects(makePairs(r, 50, 1, 1), nil) {
+			det++
+		}
+	}
+	if det < 195 {
+		t.Errorf("oracle power too low: %d/200", det)
+	}
+}
+
+func TestPairs(t *testing.T) {
+	p, err := Pairs([]float64{1, 2}, []float64{3, 4})
+	if err != nil || p[1].A != 2 || p[1].B != 4 {
+		t.Fatalf("Pairs = %v, %v", p, err)
+	}
+	if _, err := Pairs([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestRecommendedSampleSize(t *testing.T) {
+	if n := RecommendedSampleSize(0.75, 0.05, 0.05); n != 29 {
+		t.Errorf("recommended N = %d, want 29", n)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if NotSignificant.String() == "" || SignificantAndMeaningful.String() == "" {
+		t.Error("empty decision strings")
+	}
+	if Decision(99).String() == "" {
+		t.Error("unknown decision should still render")
+	}
+}
+
+func TestPABMonotoneInEffect(t *testing.T) {
+	// Larger true differences should (weakly) raise the measured PAB.
+	r := xrand.New(5)
+	prev := -1.0
+	for _, diff := range []float64{0, 1, 2, 4} {
+		pairs := makePairs(r, 400, diff, 1)
+		res, err := PAB{Bootstrap: 200}.Evaluate(pairs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PAB < prev-0.05 {
+			t.Errorf("PAB not monotone: %v after %v", res.PAB, prev)
+		}
+		prev = res.PAB
+	}
+	if math.Abs(prev-1) > 0.02 {
+		t.Errorf("PAB at 4σ separation = %v, want ≈1", prev)
+	}
+}

@@ -1,0 +1,81 @@
+package compare
+
+import (
+	"fmt"
+
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+// Section 6 of the paper discusses accumulating evidence across multiple
+// datasets. Two families are implemented here: Demšar's (2006) Wilcoxon
+// signed-rank test over per-dataset mean performances (better with many
+// datasets), and Dror et al.'s (2017) replicability analysis that accepts an
+// algorithm only when it improves on every dataset under a partial-
+// conjunction multiple-comparison correction (better with few datasets,
+// which is the common case — papers typically use 3 to 5).
+
+// DatasetOutcome is the per-dataset piece of a multi-dataset comparison.
+type DatasetOutcome struct {
+	Dataset       string
+	Result        Result  // the recommended P(A>B) test on this dataset
+	AdjustedGamma float64 // γ after the multiple-comparison adjustment
+}
+
+// MultiResult aggregates evidence across datasets.
+type MultiResult struct {
+	PerDataset []DatasetOutcome
+	// AllMeaningful reports Dror-style acceptance: A beats B significantly
+	// and meaningfully on every dataset at the corrected threshold.
+	AllMeaningful bool
+	// WilcoxonP is Demšar's signed-rank p-value over per-dataset means
+	// (one-sided, A greater).
+	WilcoxonP float64
+}
+
+// DatasetPairs carries the paired measures of one dataset.
+type DatasetPairs struct {
+	Name  string
+	Pairs []stats.Pair
+}
+
+// AcrossDatasets runs the recommended test on each dataset with a
+// Bonferroni-adjusted meaningfulness threshold (Section 6's suggestion) and
+// combines the outcomes: Dror-style all-datasets acceptance plus Demšar's
+// Wilcoxon over per-dataset mean differences.
+func AcrossDatasets(datasets []DatasetPairs, gamma, alpha float64, r *xrand.Source) (MultiResult, error) {
+	if len(datasets) == 0 {
+		return MultiResult{}, fmt.Errorf("compare: no datasets")
+	}
+	adjGamma := stats.GammaBonferroni(gamma, alpha, len(datasets))
+	res := MultiResult{AllMeaningful: true}
+	meansA := make([]float64, 0, len(datasets))
+	meansB := make([]float64, 0, len(datasets))
+	for _, ds := range datasets {
+		crit := PAB{Gamma: adjGamma}
+		out, err := crit.Evaluate(ds.Pairs, r)
+		if err != nil {
+			return MultiResult{}, fmt.Errorf("compare: dataset %s: %w", ds.Name, err)
+		}
+		res.PerDataset = append(res.PerDataset, DatasetOutcome{
+			Dataset: ds.Name, Result: out, AdjustedGamma: adjGamma,
+		})
+		if out.Decision != SignificantAndMeaningful {
+			res.AllMeaningful = false
+		}
+		var ma, mb float64
+		for _, p := range ds.Pairs {
+			ma += p.A
+			mb += p.B
+		}
+		meansA = append(meansA, ma/float64(len(ds.Pairs)))
+		meansB = append(meansB, mb/float64(len(ds.Pairs)))
+	}
+	if len(datasets) >= 3 {
+		res.WilcoxonP = stats.WilcoxonSignedRank(meansA, meansB, stats.GreaterTailed).PValue
+	} else {
+		// Demšar's test is meaningless below 3 datasets; report 1.
+		res.WilcoxonP = 1
+	}
+	return res, nil
+}

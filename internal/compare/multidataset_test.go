@@ -1,0 +1,85 @@
+package compare
+
+import (
+	"testing"
+
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+func datasetsWithEffect(r *xrand.Source, nDatasets, nPairs int, diff float64) []DatasetPairs {
+	out := make([]DatasetPairs, nDatasets)
+	for d := range out {
+		pairs := make([]stats.Pair, nPairs)
+		for i := range pairs {
+			base := r.NormFloat64()
+			pairs[i] = stats.Pair{A: base + diff, B: base + 0.3*r.NormFloat64()}
+		}
+		out[d] = DatasetPairs{Name: string(rune('a' + d)), Pairs: pairs}
+	}
+	return out
+}
+
+func TestAcrossDatasetsAcceptsUniformWinner(t *testing.T) {
+	r := xrand.New(1)
+	ds := datasetsWithEffect(r, 4, 40, 2.0)
+	res, err := AcrossDatasets(ds, 0.75, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllMeaningful {
+		t.Errorf("uniform dominance should be accepted: %+v", res.PerDataset)
+	}
+	if res.WilcoxonP > 0.1 {
+		t.Errorf("Wilcoxon p = %v, want small for uniform dominance", res.WilcoxonP)
+	}
+	// Adjusted γ must be stricter than the nominal one.
+	if res.PerDataset[0].AdjustedGamma <= 0.75 {
+		t.Errorf("adjusted γ = %v, want > 0.75", res.PerDataset[0].AdjustedGamma)
+	}
+}
+
+func TestAcrossDatasetsRejectsWhenOneDatasetFails(t *testing.T) {
+	r := xrand.New(2)
+	ds := datasetsWithEffect(r, 3, 40, 2.0)
+	// Break the third dataset: no effect at all.
+	for i := range ds[2].Pairs {
+		base := r.NormFloat64()
+		ds[2].Pairs[i] = stats.Pair{A: base, B: base + 0.3*r.NormFloat64()}
+	}
+	res, err := AcrossDatasets(ds, 0.75, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllMeaningful {
+		t.Error("one null dataset must block all-datasets acceptance")
+	}
+}
+
+func TestAcrossDatasetsNullControlled(t *testing.T) {
+	r := xrand.New(3)
+	ds := datasetsWithEffect(r, 4, 30, 0)
+	res, err := AcrossDatasets(ds, 0.75, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllMeaningful {
+		t.Error("null effect accepted across datasets")
+	}
+}
+
+func TestAcrossDatasetsSmallCounts(t *testing.T) {
+	r := xrand.New(4)
+	// Two datasets: Wilcoxon is not applicable, must report p=1.
+	ds := datasetsWithEffect(r, 2, 20, 1.5)
+	res, err := AcrossDatasets(ds, 0.75, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WilcoxonP != 1 {
+		t.Errorf("Wilcoxon with 2 datasets should be 1, got %v", res.WilcoxonP)
+	}
+	if _, err := AcrossDatasets(nil, 0.75, 0.05, r); err == nil {
+		t.Error("empty dataset list should error")
+	}
+}

@@ -1,0 +1,104 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"varbench/internal/tensor"
+)
+
+// WriteCSV serializes a dataset: a header row (feature names x0..xd-1, then
+// "y" and optionally "group"), followed by one row per example.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.Dim()+2)
+	for j := 0; j < d.Dim(); j++ {
+		header = append(header, fmt.Sprintf("x%d", j))
+	}
+	header = append(header, "y")
+	if d.Group != nil {
+		header = append(header, "group")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < d.N(); i++ {
+		for j, v := range d.X.Row(i) {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[d.Dim()] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		if d.Group != nil {
+			row[d.Dim()+1] = strconv.Itoa(d.Group[i])
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a dataset written by WriteCSV (or any CSV whose last column
+// — or last two, when a "group" column is present — hold the target and
+// group). numClasses 0 marks regression targets.
+func ReadCSV(r io.Reader, name string, numClasses int) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("data: csv read: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("data: csv needs a header and at least one row")
+	}
+	header := records[0]
+	hasGroup := header[len(header)-1] == "group"
+	dim := len(header) - 1
+	if hasGroup {
+		dim--
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("data: csv has no feature columns")
+	}
+	n := len(records) - 1
+	d := &Dataset{
+		Name:       name,
+		X:          tensor.NewMatrix(n, dim),
+		Y:          make([]float64, n),
+		NumClasses: numClasses,
+	}
+	if hasGroup {
+		d.Group = make([]int, n)
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("data: csv row %d has %d fields, want %d", i+1, len(rec), len(header))
+		}
+		row := d.X.Row(i)
+		for j := 0; j < dim; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: csv row %d col %d: %w", i+1, j, err)
+			}
+			row[j] = v
+		}
+		y, err := strconv.ParseFloat(rec[dim], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: csv row %d target: %w", i+1, err)
+		}
+		if numClasses > 0 && (y != float64(int(y)) || y < 0 || y >= float64(numClasses)) {
+			return nil, fmt.Errorf("data: csv row %d label %v outside [0, %d)", i+1, y, numClasses)
+		}
+		d.Y[i] = y
+		if hasGroup {
+			g, err := strconv.Atoi(rec[dim+1])
+			if err != nil {
+				return nil, fmt.Errorf("data: csv row %d group: %w", i+1, err)
+			}
+			d.Group[i] = g
+		}
+	}
+	return d, nil
+}

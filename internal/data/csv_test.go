@@ -1,0 +1,81 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"varbench/internal/xrand"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := makeToyDataset(50, 3, 7)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "toy", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.Dim() != orig.Dim() || back.NumClasses != 3 {
+		t.Fatalf("shape changed: %d×%d", back.N(), back.Dim())
+	}
+	for i := 0; i < orig.N(); i++ {
+		if back.Y[i] != orig.Y[i] {
+			t.Fatal("labels changed")
+		}
+		for j := 0; j < orig.Dim(); j++ {
+			if back.X.At(i, j) != orig.X.At(i, j) {
+				t.Fatal("features changed (should be exact: 'g' -1 formatting)")
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripWithGroups(t *testing.T) {
+	sg := NewSegmentation("seg", 4, 3, 6, 2, 0.3, 9)
+	orig := sg.Sample(32, xrand.New(1))
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "seg", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Group == nil {
+		t.Fatal("groups lost")
+	}
+	for i := range orig.Group {
+		if back.Group[i] != orig.Group[i] {
+			t.Fatal("group values changed")
+		}
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	cases := map[string]string{
+		"no rows":       "x0,y\n",
+		"ragged row":    "x0,x1,y\n1,2,0\n1,0\n",
+		"bad float":     "x0,y\nabc,0\n",
+		"bad label":     "x0,y\n1,5\n", // numClasses=2 below
+		"frac label":    "x0,y\n1,0.5\n",
+		"negative":      "x0,y\n1,-1\n",
+		"no features":   "y\n0\n",
+		"bad group int": "x0,y,group\n1,0,zz\n",
+	}
+	for name, csvText := range cases {
+		if _, err := ReadCSV(strings.NewReader(csvText), "t", 2); err == nil {
+			t.Errorf("%s: accepted invalid csv", name)
+		}
+	}
+	// Regression targets accept any float.
+	d, err := ReadCSV(strings.NewReader("x0,y\n1,0.37\n2,-4.2\n"), "r", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.IsClassification() || d.Y[1] != -4.2 {
+		t.Error("regression parsing wrong")
+	}
+}

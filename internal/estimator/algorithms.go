@@ -1,0 +1,154 @@
+package estimator
+
+import (
+	"fmt"
+
+	"varbench/internal/data"
+	"varbench/internal/hpo"
+	"varbench/internal/pipeline"
+	"varbench/internal/xrand"
+)
+
+// IdealEst is Algorithm 1: k independent executions of the complete pipeline
+// — fresh ξO and ξH (including a full hyperparameter optimization) for every
+// performance measure. O(k·T) trainings; unbiased. It returns the k raw
+// measures; callers compute μ̂(k) = mean and σ̂(k) = std.
+func IdealEst(t pipeline.Task, opt hpo.Optimizer, budget, k int, baseSeed uint64) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("estimator: k must be ≥ 1")
+	}
+	seeder := xrand.New(baseSeed ^ 0x1DEA1E57)
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		streams := xrand.NewStreams(seeder.Uint64())
+		res, err := pipeline.Run(t, opt, budget, streams)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.TestPerf)
+	}
+	return out, nil
+}
+
+// Subset selects which ξO sources the biased estimator re-randomizes between
+// its k measures (Section 3.3's FixHOptEst variants).
+type Subset int
+
+const (
+	// SubsetInit randomizes weight initialization only — the predominant
+	// practice in the deep-learning literature.
+	SubsetInit Subset = iota
+	// SubsetData randomizes the dataset split only (bootstrap).
+	SubsetData
+	// SubsetAll randomizes every ξO source (init, order, dropout,
+	// augmentation, data split) — everything except HOpt.
+	SubsetAll
+)
+
+// String returns the paper's label for the subset.
+func (s Subset) String() string {
+	switch s {
+	case SubsetInit:
+		return "FixHOptEst(k,Init)"
+	case SubsetData:
+		return "FixHOptEst(k,Data)"
+	case SubsetAll:
+		return "FixHOptEst(k,All)"
+	default:
+		return fmt.Sprintf("Subset(%d)", int(s))
+	}
+}
+
+// Vars returns the ξO sources the subset re-randomizes.
+func (s Subset) Vars() []xrand.Var {
+	switch s {
+	case SubsetInit:
+		return []xrand.Var{xrand.VarInit}
+	case SubsetData:
+		return []xrand.Var{xrand.VarDataSplit}
+	case SubsetAll:
+		return xrand.LearningVars()
+	default:
+		return nil
+	}
+}
+
+// FixHOptEst is Algorithm 2: one hyperparameter optimization fixes λ̂*, then
+// k performance measures re-randomize only the subset's ξO sources. O(k+T)
+// trainings; biased for k>1 because all k measures share the single λ̂*
+// (and, outside the subset, the remaining fixed ξO values).
+func FixHOptEst(t pipeline.Task, opt hpo.Optimizer, budget, k int, subset Subset,
+	baseSeed uint64) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("estimator: k must be ≥ 1")
+	}
+	base := xrand.NewStreams(baseSeed)
+	split, err := t.Split(base.Get(xrand.VarDataSplit))
+	if err != nil {
+		return nil, err
+	}
+	hres, err := pipeline.HOpt(t, opt, budget, split, base)
+	if err != nil {
+		return nil, err
+	}
+
+	seeder := xrand.New(baseSeed ^ 0xF17ED0E57)
+	vars := subset.Vars()
+	randomizesData := false
+	for _, v := range vars {
+		if v == xrand.VarDataSplit {
+			randomizesData = true
+		}
+	}
+
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		streams := xrand.NewStreams(baseSeed)
+		for _, v := range vars {
+			streams.Reseed(v, seeder.Uint64())
+		}
+		var perf float64
+		if randomizesData {
+			// Fresh split per measure, like Algorithm 2's Stv,So ~ sp(S;ξO).
+			perf, err = pipeline.RunWithParams(t, hres.Best, streams)
+		} else {
+			// Split stays fixed; only the chosen sources vary.
+			perf, err = trainEvalOnSplit(t, hres.Best, split, streams)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, perf)
+	}
+	return out, nil
+}
+
+// trainEvalOnSplit trains on Stv = train∪valid of a fixed split and measures
+// on its test set.
+func trainEvalOnSplit(t pipeline.Task, p hpo.Params, split data.TrainValidTest,
+	streams *xrand.Streams) (float64, error) {
+	stv, err := data.Concat(split.Train, split.Valid)
+	if err != nil {
+		return 0, err
+	}
+	return pipeline.TrainEval(t, p, stv, split.Test, streams)
+}
+
+// CostModel reports the training counts of the two estimators: the paper's
+// 51× compute argument (Section 3.3: IdealEst(100) took 1070 hours vs 21
+// hours per FixHOptEst(100) with a 200-trial budget).
+type CostModel struct {
+	K, Budget int
+}
+
+// IdealTrainings returns k·(T+1): every measure pays a full HOpt plus its
+// final retrain.
+func (c CostModel) IdealTrainings() int { return c.K * (c.Budget + 1) }
+
+// FixHOptTrainings returns T+k: one HOpt then k retrains.
+func (c CostModel) FixHOptTrainings() int { return c.Budget + c.K }
+
+// Speedup returns the compute ratio between the ideal and biased estimators.
+func (c CostModel) Speedup() float64 {
+	return float64(c.IdealTrainings()) / float64(c.FixHOptTrainings())
+}

@@ -1,0 +1,54 @@
+package estimator
+
+import (
+	"testing"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/stats"
+)
+
+func TestAllSourcesMeasures(t *testing.T) {
+	task := casestudy.Tiny(1)
+	m, err := AllSourcesMeasures(task, task.Defaults(), 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 6 {
+		t.Fatalf("got %d measures", len(m))
+	}
+	if stats.Std(m) == 0 {
+		t.Error("jointly randomized runs should vary")
+	}
+	// Deterministic given the base seed.
+	again, err := AllSourcesMeasures(task, task.Defaults(), 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		if m[i] != again[i] {
+			t.Fatal("AllSourcesMeasures not reproducible")
+		}
+	}
+	if _, err := AllSourcesMeasures(task, task.Defaults(), 1, 3); err == nil {
+		t.Error("n=1 should error")
+	}
+	// Joint randomization should have at least the variance of any single
+	// source (statistically; compare with init-only at same n).
+	initM, err := SourceMeasures(task, task.Defaults(), "weights-init", 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("all-sources std %v vs init-only std %v", stats.Std(m), stats.Std(initM))
+}
+
+func TestSubsetStringUnknown(t *testing.T) {
+	if Subset(42).String() == "" {
+		t.Error("unknown subset should still render")
+	}
+	if Subset(42).Vars() != nil {
+		t.Error("unknown subset should have no vars")
+	}
+	if SubsetInit.String() != "FixHOptEst(k,Init)" || SubsetData.String() != "FixHOptEst(k,Data)" {
+		t.Error("subset labels wrong")
+	}
+}

@@ -1,0 +1,153 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"varbench/internal/stats"
+)
+
+// Curve is the standard error of an estimator as a function of the number of
+// samples k it averages — the y-axis of Figures 5 and H.4. Band holds the
+// analytic uncertainty of each std estimate (std of the std of a normal on
+// the number of realizations).
+type Curve struct {
+	Label string
+	K     []int
+	Std   []float64
+	Band  []float64
+}
+
+// IdealCurve builds the ideal estimator's curve σ/√k from one realization of
+// measures (the ideal estimator is unbiased, so a single realization
+// suffices — Section 3.3).
+func IdealCurve(measures []float64, ks []int) Curve {
+	sigma := stats.Std(measures)
+	c := Curve{Label: "IdealEst(k)"}
+	for _, k := range ks {
+		c.K = append(c.K, k)
+		c.Std = append(c.Std, sigma/math.Sqrt(float64(k)))
+		c.Band = append(c.Band, stats.StdOfStd(sigma, len(measures))/math.Sqrt(float64(k)))
+	}
+	return c
+}
+
+// BiasedCurve builds a biased estimator's curve from repeated realizations:
+// realizations[r][i] is the i-th of kmax measures in repetition r. For each
+// k it computes the standard deviation across repetitions of the k-prefix
+// mean μ̃(k) — exactly the paper's protocol with 20 repetitions.
+func BiasedCurve(label string, realizations [][]float64, ks []int) (Curve, error) {
+	if len(realizations) < 2 {
+		return Curve{}, fmt.Errorf("estimator: need ≥ 2 realizations, got %d", len(realizations))
+	}
+	kmax := len(realizations[0])
+	for _, r := range realizations {
+		if len(r) != kmax {
+			return Curve{}, fmt.Errorf("estimator: ragged realizations")
+		}
+	}
+	c := Curve{Label: label}
+	for _, k := range ks {
+		if k < 1 || k > kmax {
+			return Curve{}, fmt.Errorf("estimator: k=%d outside [1, %d]", k, kmax)
+		}
+		means := make([]float64, len(realizations))
+		for r, row := range realizations {
+			means[r] = stats.Mean(row[:k])
+		}
+		sd := stats.Std(means)
+		c.K = append(c.K, k)
+		c.Std = append(c.Std, sd)
+		c.Band = append(c.Band, stats.StdOfStd(sd, len(realizations)))
+	}
+	return c, nil
+}
+
+// EquivalentIdealK returns the number of ideal-estimator samples that yields
+// the same standard error as the given biased-estimator std: the "converges
+// to the equivalent of μ̂(k=…)" comparison of Section 3.3.
+func EquivalentIdealK(sigmaIdeal, biasedStd float64) float64 {
+	if biasedStd <= 0 {
+		return math.Inf(1)
+	}
+	r := sigmaIdeal / biasedStd
+	return r * r
+}
+
+// Decomposition is one row of Figure H.5: the bias, variance, average
+// inter-measure correlation ρ, and mean squared error of an estimator at a
+// given k.
+type Decomposition struct {
+	Label string
+	Bias  float64
+	Var   float64
+	Rho   float64
+	MSE   float64
+}
+
+// Decompose computes the Figure H.5 quantities for a biased estimator from
+// its repeated realizations, using mu as the reference expected empirical
+// risk (estimated from the ideal estimator's mean).
+func Decompose(label string, realizations [][]float64, mu float64) (Decomposition, error) {
+	if len(realizations) < 2 || len(realizations[0]) < 2 {
+		return Decomposition{}, fmt.Errorf("estimator: need a ≥2×≥2 realization matrix")
+	}
+	k := len(realizations[0])
+	means := make([]float64, len(realizations))
+	for r, row := range realizations {
+		if len(row) != k {
+			return Decomposition{}, fmt.Errorf("estimator: ragged realizations")
+		}
+		means[r] = stats.Mean(row)
+	}
+	bias := stats.Mean(means) - mu
+	variance := stats.Variance(means)
+	rho := stats.MeanCorrelation(realizations)
+	return Decomposition{
+		Label: label,
+		Bias:  bias,
+		Var:   variance,
+		Rho:   rho,
+		MSE:   variance + bias*bias,
+	}, nil
+}
+
+// DecomposeIdeal computes the same quantities for the ideal estimator from a
+// single realization: bias 0 by construction, variance σ²/k, ρ 0.
+func DecomposeIdeal(measures []float64, k int) Decomposition {
+	sigma2 := stats.Variance(measures)
+	return Decomposition{
+		Label: fmt.Sprintf("IdealEst(%d)", k),
+		Bias:  0,
+		Var:   sigma2 / float64(k),
+		Rho:   0,
+		MSE:   sigma2 / float64(k),
+	}
+}
+
+// Ks returns 1..kmax suitable for curve x-axes, thinned to at most points
+// entries (always including 1 and kmax).
+func Ks(kmax, points int) []int {
+	if kmax < 1 {
+		return nil
+	}
+	if points < 2 || kmax <= points {
+		out := make([]int, kmax)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	out := []int{1}
+	step := float64(kmax-1) / float64(points-1)
+	for i := 1; i < points-1; i++ {
+		k := 1 + int(math.Round(step*float64(i)))
+		if k > out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	if out[len(out)-1] != kmax {
+		out = append(out, kmax)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package estimator
+
+import (
+	"testing"
+
+	"varbench/internal/data"
+	"varbench/internal/nn"
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+// TestBootstrapApproximatesTrueDataVariance validates the core substitution
+// of Appendix B: the variance measured by bootstrap/out-of-bootstrap
+// resampling of ONE finite dataset should approximate the variance across
+// genuinely fresh datasets drawn from the true distribution D. The synthetic
+// substrate makes the comparison possible because we actually hold D.
+func TestBootstrapApproximatesTrueDataVariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	dist := data.NewGaussianMixture("val", 3, 8, 0.8, 1.0, 42)
+	cfg := nn.TrainConfig{
+		Hidden:     []int{8},
+		Activation: nn.ReLU,
+		Loss:       nn.CrossEntropy,
+		OutDim:     3,
+		Init:       nn.GlorotUniform{},
+		LR:         0.05, Momentum: 0.9, WeightDecay: 1e-4,
+		Epochs: 6, BatchSize: 32,
+	}
+	const nTrain, nTest, reps = 300, 100, 24
+
+	accuracy := func(m *nn.MLP, d *data.Dataset) float64 {
+		pred := m.PredictLabels(d.X)
+		hits := 0
+		for i, p := range pred {
+			if p == int(d.Y[i]) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(d.N())
+	}
+
+	// (a) Truth: fresh train and test sets from D each repetition, fixed ξO.
+	var trueMeasures []float64
+	for i := 0; i < reps; i++ {
+		train := dist.Sample(nTrain, xrand.New(uint64(1000+i)))
+		test := dist.Sample(nTest, xrand.New(uint64(2000+i)))
+		res, err := nn.Train(cfg, train, xrand.NewStreams(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueMeasures = append(trueMeasures, accuracy(res.Model, test))
+	}
+
+	// (b) Bootstrap: one finite dataset S, OOB resampling, fixed ξO.
+	pool := dist.Sample(nTrain+nTest*3, xrand.New(99))
+	var bootMeasures []float64
+	for i := 0; i < reps; i++ {
+		split, err := data.OOBSplit(pool, nTrain, 1, nTest, xrand.New(uint64(3000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nn.Train(cfg, split.Train, xrand.NewStreams(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bootMeasures = append(bootMeasures, accuracy(res.Model, split.Test))
+	}
+
+	trueStd := stats.Std(trueMeasures)
+	bootStd := stats.Std(bootMeasures)
+	t.Logf("true-D std = %v, bootstrap std = %v, ratio = %v",
+		trueStd, bootStd, bootStd/trueStd)
+	// The bootstrap should estimate the right order of magnitude. A wide
+	// band is deliberate: both sides are themselves noisy with 24 reps.
+	if bootStd < trueStd/3 || bootStd > trueStd*3 {
+		t.Errorf("bootstrap std %v not within 3x of true std %v", bootStd, trueStd)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAppendixCWorkedExample(t *testing.T) {
+	res, err := AppendixC(0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != 29 {
+		t.Errorf("sample size = %d, want 29", res.SampleSize)
+	}
+	if len(res.ScoresA) != 29 || len(res.ScoresB) != 29 {
+		t.Fatalf("collected %d/%d pairs", len(res.ScoresA), len(res.ScoresB))
+	}
+	// The deliberately crippled learning rate should lose clearly.
+	if res.Result.PAB < 0.75 {
+		t.Errorf("P(A>B) = %v, expected clear dominance", res.Result.PAB)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, step := range []string{"C.1", "C.2", "C.3", "C.4", "C.5", "C.6"} {
+		if !strings.Contains(out, step) {
+			t.Errorf("narration missing step %s", step)
+		}
+	}
+}
+
+func TestAppendixCDeterministic(t *testing.T) {
+	a, err := AppendixC(0.75, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AppendixC(0.75, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.PAB != b.Result.PAB || a.Result.CI.Lo != b.Result.CI.Lo {
+		t.Error("worked example not reproducible")
+	}
+}

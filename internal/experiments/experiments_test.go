@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+// micro is the smallest budget that still exercises every code path.
+func micro() Budget {
+	return Budget{
+		SeedsPerSource:       8,
+		HOptRepetitions:      3,
+		HOptBudget:           4,
+		KMax:                 6,
+		EstimatorRepetitions: 3,
+		SimulationsPerPoint:  60,
+	}
+}
+
+func tinyStudies() []*casestudy.Study {
+	return []*casestudy.Study{casestudy.Tiny(1)}
+}
+
+func TestBudgets(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.SeedsPerSource >= f.SeedsPerSource || q.HOptBudget >= f.HOptBudget {
+		t.Error("quick budget should be strictly smaller than full")
+	}
+	if f.SeedsPerSource != 200 || f.HOptBudget != 200 || f.KMax != 100 || f.EstimatorRepetitions != 20 {
+		t.Error("full budget must match the paper protocol")
+	}
+}
+
+func TestStudiesSelector(t *testing.T) {
+	all, err := Studies(nil)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Studies(nil) = %d studies, err %v", len(all), err)
+	}
+	one, err := Studies([]string{"mhc-mlp"})
+	if err != nil || len(one) != 1 || one[0].Name() != "mhc-mlp" {
+		t.Fatalf("Studies by name failed: %v", err)
+	}
+	if _, err := Studies([]string{"bogus"}); err == nil {
+		t.Error("unknown study should error")
+	}
+}
+
+func TestFig1EndToEnd(t *testing.T) {
+	res, err := Fig1(tinyStudies(), micro(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 1 {
+		t.Fatalf("tasks = %d", len(res.Tasks))
+	}
+	task := res.Tasks[0]
+	// ξO rows + 3 optimizers.
+	wantRows := len(casestudy.Tiny(1).Sources()) + 3
+	if len(task.Order) != wantRows {
+		t.Errorf("rows = %d, want %d (%v)", len(task.Order), wantRows, task.Order)
+	}
+	if task.BootstrapStd() <= 0 {
+		t.Error("bootstrap std must be positive")
+	}
+	for label, m := range task.Rows {
+		if len(m) < 2 {
+			t.Errorf("row %s has %d measures", label, len(m))
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "data-split") {
+		t.Error("render missing data-split row")
+	}
+	for _, issue := range res.CheckShape() {
+		t.Logf("fig1 shape note: %s", issue)
+	}
+}
+
+func TestFig2EndToEnd(t *testing.T) {
+	res, err := Fig2(tinyStudies(), micro(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := res.Tasks[0]
+	if task.ModelStd <= 0 || task.ObservedStd <= 0 {
+		t.Fatalf("stds must be positive: %+v", task)
+	}
+	// The binomial model should agree with the observation within a small
+	// factor (Figure 2's finding).
+	ratio := task.ObservedStd / task.ModelStd
+	if ratio < 0.3 || ratio > 4 {
+		t.Errorf("observed/model ratio = %v, binomial model badly off", ratio)
+	}
+	// Model curve decreases with test size.
+	for i := 1; i < len(task.ModelCurve); i++ {
+		if task.ModelCurve[i] >= task.ModelCurve[i-1] {
+			t.Error("binomial curve must decrease with n")
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3EndToEnd(t *testing.T) {
+	res, err := Fig3(map[string]float64{"cifar10": 0.3, "sst2": 0.6}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Analyses) != 2 {
+		t.Fatalf("analyses = %d", len(res.Analyses))
+	}
+	if res.DeltaCoefficient <= 0 {
+		t.Errorf("delta coefficient = %v", res.DeltaCoefficient)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.9952") {
+		t.Error("render should cite the paper coefficient")
+	}
+	if _, err := Fig3(map[string]float64{"cifar10": 0.3}, 0.05); err == nil {
+		t.Error("missing sigma should error")
+	}
+}
+
+func TestFig5EndToEnd(t *testing.T) {
+	res, err := Fig5(tinyStudies(), micro(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := res.Tasks[0]
+	if len(task.Curves) != 4 { // 3 subsets + ideal
+		t.Fatalf("curves = %d", len(task.Curves))
+	}
+	sigma2, biasVar, withinVar := task.SimulationModel()
+	if sigma2 <= 0 || withinVar <= 0 || biasVar < 0 {
+		t.Errorf("simulation model invalid: %v %v %v", sigma2, biasVar, withinVar)
+	}
+	decs, err := task.Decompositions(res.KMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != 5 {
+		t.Errorf("decompositions = %d, want 5", len(decs))
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RenderH5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, issue := range res.CheckShape() {
+		t.Logf("fig5 shape note: %s", issue)
+	}
+}
+
+func TestFig6EndToEnd(t *testing.T) {
+	res, err := Fig6(DefaultModelStats(), micro(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	if issues := res.CheckShape(); len(issues) > 0 {
+		t.Errorf("fig6 shape violations: %v", issues)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "oracle") {
+		t.Error("render missing oracle column")
+	}
+}
+
+func TestFigC1(t *testing.T) {
+	res := FigC1(0.05, 0.05)
+	if res.Recommended.N != 29 {
+		t.Errorf("recommended N = %d, want 29", res.Recommended.N)
+	}
+	for i := 1; i < len(res.N); i++ {
+		if res.N[i] > res.N[i-1] {
+			t.Error("sample size must not grow with γ")
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigF2EndToEnd(t *testing.T) {
+	res, err := FigF2(tinyStudies(), micro(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := res.Tasks[0]
+	if len(task.Curves) != 3 {
+		t.Fatalf("curves = %d", len(task.Curves))
+	}
+	if issues := res.CheckShape(); len(issues) > 0 {
+		t.Errorf("figF2 shape violations: %v", issues)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigG3EndToEnd(t *testing.T) {
+	res, err := FigG3(tinyStudies(), micro(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources + "altogether".
+	want := len(casestudy.Tiny(1).Sources()) + 1
+	if len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Cells {
+		if c.PValue < 0 || c.PValue > 1 || c.W <= 0 || c.W > 1 {
+			t.Errorf("invalid SW stats: %+v", c)
+		}
+	}
+	share := res.NormalShare()
+	if share < 0 || share > 1 {
+		t.Errorf("normal share = %v", share)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigI6EndToEnd(t *testing.T) {
+	res, err := FigI6(DefaultModelStats(), micro(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := res.CheckShape(); len(issues) > 0 {
+		t.Errorf("figI6 shape violations: %v", issues)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable8EndToEnd(t *testing.T) {
+	res, err := Table8(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // 3 models × 2 datasets
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.AUC < 0.3 || row.AUC > 1 {
+			t.Errorf("%s/%s AUC = %v", row.Model, row.Dataset, row.AUC)
+		}
+	}
+	if issues := res.CheckShape(); len(issues) > 0 {
+		t.Errorf("table8 shape violations: %v", issues)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderSpacesAndEnv(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderSpaces(&buf, tinyStudies()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lr") {
+		t.Error("spaces table missing lr")
+	}
+	buf.Reset()
+	if err := RenderEnv(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "go version") {
+		t.Error("env table missing go version")
+	}
+}
+
+func TestFig1HOptVarianceComparableToInit(t *testing.T) {
+	// The paper's second headline: HOpt-induced variance is on par with
+	// weight-init variance (within an order of magnitude).
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	b := micro()
+	b.SeedsPerSource = 12
+	b.HOptRepetitions = 6
+	res, err := Fig1(tinyStudies(), b, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := res.Tasks[0]
+	initStd := stats.Std(task.Rows[string(xrand.VarInit)])
+	for _, opt := range []string{"random-search", "noisy-grid-search", "bayes-opt"} {
+		hoptStd := stats.Std(task.Rows[opt])
+		if hoptStd > initStd*20 {
+			t.Errorf("%s std %v wildly above init std %v", opt, hoptStd, initStd)
+		}
+	}
+}

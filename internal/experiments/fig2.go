@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/estimator"
+	"varbench/internal/report"
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+// Fig2Result compares the binomial model of test-set sampling noise with the
+// std observed when bootstrapping the data (Figure 2).
+type Fig2Result struct {
+	Tasks []Fig2Task
+	// ModelSizes is the x-axis of the dotted model curves.
+	ModelSizes []int
+}
+
+// Fig2Task is one case study's entry.
+type Fig2Task struct {
+	Task        string
+	TestSize    int
+	MeanAcc     float64
+	ObservedStd float64   // std of accuracy under data bootstrap
+	ModelStd    float64   // binomial prediction at TestSize
+	ModelCurve  []float64 // binomial prediction at each ModelSizes entry
+}
+
+// Fig2 runs the data-bootstrap measurement on the classification studies and
+// evaluates the binomial model over test sizes 10²..10⁶.
+func Fig2(studies []*casestudy.Study, b Budget, baseSeed uint64) (Fig2Result, error) {
+	res := Fig2Result{
+		ModelSizes: []int{100, 300, 1000, 3000, 10000, 30000, 100000, 1000000},
+	}
+	for _, s := range studies {
+		split, err := s.Split(xrand.New(baseSeed))
+		if err != nil {
+			return Fig2Result{}, err
+		}
+		measures, err := estimator.SourceMeasures(s, s.Defaults(), xrand.VarDataSplit,
+			b.SeedsPerSource, baseSeed)
+		if err != nil {
+			return Fig2Result{}, fmt.Errorf("fig2 %s: %w", s.Name(), err)
+		}
+		mean := stats.Mean(measures)
+		task := Fig2Task{
+			Task:        s.Name(),
+			TestSize:    split.Test.N(),
+			MeanAcc:     mean,
+			ObservedStd: stats.Std(measures),
+			ModelStd:    stats.Binomial{N: split.Test.N(), P: mean}.AccuracyStd(),
+		}
+		for _, n := range res.ModelSizes {
+			task.ModelCurve = append(task.ModelCurve,
+				stats.Binomial{N: n, P: mean}.AccuracyStd())
+		}
+		res.Tasks = append(res.Tasks, task)
+	}
+	return res, nil
+}
+
+// Render writes the comparison table and the model curves plot.
+func (r Fig2Result) Render(w io.Writer) error {
+	tb := &report.Table{
+		Title: "Figure 2 — test-set sampling noise: binomial model vs observed",
+		Headers: []string{"task", "n_test", "mean acc",
+			"observed std", "binomial std", "ratio obs/model"},
+	}
+	for _, t := range r.Tasks {
+		ratio := 0.0
+		if t.ModelStd > 0 {
+			ratio = t.ObservedStd / t.ModelStd
+		}
+		tb.AddRow(t.Task, t.TestSize, t.MeanAcc, t.ObservedStd, t.ModelStd, ratio)
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	var series []report.Series
+	for _, t := range r.Tasks {
+		x := make([]float64, len(r.ModelSizes))
+		for i, n := range r.ModelSizes {
+			x[i] = float64(n)
+		}
+		series = append(series, report.Series{
+			Name: fmt.Sprintf("Binom(n', %.2f) [%s]", t.MeanAcc, t.Task),
+			X:    logged(x), Y: t.ModelCurve,
+		})
+	}
+	fmt.Fprintln(w)
+	return report.LinePlot(w, "std(acc) vs log10(test size)", series, 60, 14)
+}
+
+func logged(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Log10(v)
+	}
+	return out
+}

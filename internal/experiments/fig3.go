@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"varbench/internal/report"
+	"varbench/internal/sota"
+)
+
+// Fig3Result is the Figure 3 analysis: published SOTA improvements compared
+// to benchmark variance, plus the δ = coef·σ regression of Section 4.2.
+type Fig3Result struct {
+	Analyses []sota.Analysis
+	// DeltaCoefficient is the through-origin fit of mean improvement on σ
+	// (the paper obtains 1.9952 on paperswithcode data).
+	DeltaCoefficient float64
+}
+
+// Fig3 analyzes the embedded SOTA timelines against per-task benchmark
+// standard deviations (in accuracy points). sigmas maps timeline task name
+// ("cifar10", "sst2") to σ in percent.
+func Fig3(sigmas map[string]float64, alpha float64) (Fig3Result, error) {
+	res := Fig3Result{}
+	var imps, sds []float64
+	for _, task := range []string{"cifar10", "sst2"} {
+		sigma, ok := sigmas[task]
+		if !ok || sigma <= 0 {
+			return Fig3Result{}, fmt.Errorf("fig3: missing σ for %s", task)
+		}
+		entries, err := sota.Timelines(task)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		a := sota.Analyze(task, entries, sigma, alpha)
+		res.Analyses = append(res.Analyses, a)
+		imps = append(imps, a.MeanImprovement())
+		sds = append(sds, sigma)
+	}
+	coef, err := sota.DeltaCoefficient(imps, sds)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	res.DeltaCoefficient = coef
+	return res, nil
+}
+
+// Render writes the per-publication verdicts and the summary.
+func (r Fig3Result) Render(w io.Writer) error {
+	for _, a := range r.Analyses {
+		tb := &report.Table{
+			Title: fmt.Sprintf("Figure 3 — %s (σ=%.2f%%, significance threshold %.2f%%)",
+				a.Task, a.SigmaPct, a.ThresholdPct),
+			Headers: []string{"year", "method", "acc%", "improvement", "verdict"},
+		}
+		for _, v := range a.Verdicts {
+			verdict := "below SOTA"
+			if v.IsSOTA {
+				switch {
+				case v.Significant:
+					verdict = "significant"
+				default:
+					verdict = "NON-significant"
+				}
+			}
+			tb.AddRow(v.Year, v.Method, v.Acc, v.Improvement, verdict)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "significant share of SOTA improvements: %.2f\n\n", a.SignificantShare())
+	}
+	fmt.Fprintf(w, "δ regression through origin: δ = %.4f·σ (paper: δ = 1.9952·σ)\n",
+		r.DeltaCoefficient)
+	return nil
+}

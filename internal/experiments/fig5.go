@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/estimator"
+	"varbench/internal/hpo"
+	"varbench/internal/report"
+	"varbench/internal/stats"
+)
+
+// Fig5Result holds, per task, the standard-error-vs-k curves of the four
+// estimators (Figures 5 and H.4) plus everything needed for the Figure H.5
+// decomposition and the Figure 6 simulation models.
+type Fig5Result struct {
+	Tasks []Fig5Task
+	KMax  int
+}
+
+// Fig5Task is one task's estimator study.
+type Fig5Task struct {
+	Task string
+	// IdealMeasures is one kmax-sized realization of the ideal estimator.
+	IdealMeasures []float64
+	// Realizations maps subset label → repetitions×kmax measures.
+	Realizations map[string][][]float64
+	// Curves holds the rendered curves in plot order.
+	Curves []estimator.Curve
+}
+
+// fig5Subsets lists the biased-estimator variants in Figure 5's legend order.
+func fig5Subsets() []estimator.Subset {
+	return []estimator.Subset{
+		estimator.SubsetInit,
+		estimator.SubsetData,
+		estimator.SubsetAll,
+	}
+}
+
+// Fig5 runs the estimator-quality study: one ideal-estimator realization and
+// EstimatorRepetitions realizations of each biased variant per task.
+func Fig5(studies []*casestudy.Study, b Budget, baseSeed uint64) (Fig5Result, error) {
+	res := Fig5Result{KMax: b.KMax}
+	opt := hpo.RandomSearch{}
+	ks := estimator.Ks(b.KMax, 12)
+	for _, s := range studies {
+		task := Fig5Task{Task: s.Name(), Realizations: map[string][][]float64{}}
+
+		ideal, err := estimator.IdealEst(s, opt, b.HOptBudget, b.KMax, baseSeed)
+		if err != nil {
+			return Fig5Result{}, fmt.Errorf("fig5 %s ideal: %w", s.Name(), err)
+		}
+		task.IdealMeasures = ideal
+
+		for _, sub := range fig5Subsets() {
+			rows := make([][]float64, b.EstimatorRepetitions)
+			for rep := 0; rep < b.EstimatorRepetitions; rep++ {
+				m, err := estimator.FixHOptEst(s, opt, b.HOptBudget, b.KMax, sub,
+					baseSeed+uint64(1000*rep+7))
+				if err != nil {
+					return Fig5Result{}, fmt.Errorf("fig5 %s %v: %w", s.Name(), sub, err)
+				}
+				rows[rep] = m
+			}
+			task.Realizations[sub.String()] = rows
+			curve, err := estimator.BiasedCurve(sub.String(), rows, ks)
+			if err != nil {
+				return Fig5Result{}, err
+			}
+			task.Curves = append(task.Curves, curve)
+		}
+		task.Curves = append(task.Curves, estimator.IdealCurve(ideal, ks))
+		res.Tasks = append(res.Tasks, task)
+	}
+	return res, nil
+}
+
+// Render writes per-task curves as a table and ASCII plot.
+func (r Fig5Result) Render(w io.Writer) error {
+	for _, t := range r.Tasks {
+		tb := &report.Table{
+			Title:   fmt.Sprintf("Figure 5/H.4 — std of estimators vs k (%s)", t.Task),
+			Headers: []string{"k"},
+		}
+		for _, c := range t.Curves {
+			tb.Headers = append(tb.Headers, c.Label)
+		}
+		for i, k := range t.Curves[0].K {
+			row := []interface{}{k}
+			for _, c := range t.Curves {
+				row = append(row, c.Std[i])
+			}
+			tb.AddRow(row...)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		var series []report.Series
+		for _, c := range t.Curves {
+			x := make([]float64, len(c.K))
+			for i, k := range c.K {
+				x[i] = float64(k)
+			}
+			series = append(series, report.Series{Name: c.Label, X: x, Y: c.Std})
+		}
+		if err := report.LinePlot(w, "std vs k", series, 60, 12); err != nil {
+			return err
+		}
+		sigma := stats.Std(t.IdealMeasures)
+		fmt.Fprintf(w, "equivalent ideal k at kmax: ")
+		for _, c := range t.Curves[:len(t.Curves)-1] {
+			eq := estimator.EquivalentIdealK(sigma, c.Std[len(c.Std)-1])
+			fmt.Fprintf(w, "%s≈%.1f  ", c.Label, eq)
+		}
+		cost := estimator.CostModel{K: r.KMax, Budget: len(t.IdealMeasures)}
+		fmt.Fprintf(w, "\ncompute: IdealEst %d trainings vs FixHOptEst %d (%.0fx)\n\n",
+			cost.IdealTrainings(), cost.FixHOptTrainings(), cost.Speedup())
+	}
+	return nil
+}
+
+// CheckShape verifies the Section 3.3 ordering at kmax:
+// std(All) ≤ std(Init)·slack, and FixHOpt(All) is the best biased variant.
+func (r Fig5Result) CheckShape() []string {
+	var issues []string
+	for _, t := range r.Tasks {
+		last := len(t.Curves[0].Std) - 1
+		byLabel := map[string]float64{}
+		for _, c := range t.Curves {
+			byLabel[c.Label] = c.Std[last]
+		}
+		initStd := byLabel[estimator.SubsetInit.String()]
+		allStd := byLabel[estimator.SubsetAll.String()]
+		if allStd > initStd*1.25 {
+			issues = append(issues, fmt.Sprintf(
+				"%s: FixHOpt(All) std %.4g exceeds FixHOpt(Init) %.4g",
+				t.Task, allStd, initStd))
+		}
+	}
+	return issues
+}
+
+// Decompositions computes the Figure H.5 rows for one task at k = kmax.
+func (t Fig5Task) Decompositions(kmax int) ([]estimator.Decomposition, error) {
+	mu := stats.Mean(t.IdealMeasures)
+	out := []estimator.Decomposition{estimator.DecomposeIdeal(t.IdealMeasures, kmax)}
+	for _, sub := range fig5Subsets() {
+		rows := t.Realizations[sub.String()]
+		d, err := estimator.Decompose(sub.String(), rows, mu)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	// IdealEst(1) reference row.
+	one := estimator.DecomposeIdeal(t.IdealMeasures, 1)
+	out = append(out, one)
+	return out, nil
+}
+
+// SimulationModel derives the Figure 6 generative models from the measured
+// realizations: σ² from the ideal measures; for the biased model, the
+// within-realization variance and the bias variance of FixHOpt(All).
+func (t Fig5Task) SimulationModel() (sigma2, biasVar, withinVar float64) {
+	sigma2 = stats.Variance(t.IdealMeasures)
+	rows := t.Realizations[estimator.SubsetAll.String()]
+	if len(rows) == 0 {
+		return sigma2, 0, sigma2
+	}
+	k := len(rows[0])
+	means := make([]float64, len(rows))
+	within := 0.0
+	for i, row := range rows {
+		means[i] = stats.Mean(row)
+		within += stats.Variance(row)
+	}
+	withinVar = within / float64(len(rows))
+	biasVar = stats.Variance(means) - withinVar/float64(k)
+	if biasVar < 0 || math.IsNaN(biasVar) {
+		biasVar = 0
+	}
+	return sigma2, biasVar, withinVar
+}
+
+// RenderH5 writes the Figure H.5 decomposition tables.
+func (r Fig5Result) RenderH5(w io.Writer) error {
+	for _, t := range r.Tasks {
+		decs, err := t.Decompositions(r.KMax)
+		if err != nil {
+			return err
+		}
+		tb := &report.Table{
+			Title:   fmt.Sprintf("Figure H.5 — MSE decomposition at k=%d (%s)", r.KMax, t.Task),
+			Headers: []string{"estimator", "bias", "var", "rho", "MSE"},
+		}
+		for _, d := range decs {
+			tb.AddRow(d.Label, d.Bias, d.Var, d.Rho, d.MSE)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

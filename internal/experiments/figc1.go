@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"varbench/internal/report"
+	"varbench/internal/stats"
+)
+
+// FigC1Result is the Noether sample-size determination curve of Figure C.1.
+type FigC1Result struct {
+	Gammas      []float64
+	N           []int
+	Recommended struct {
+		Gamma float64
+		N     int
+	}
+	Alpha, Beta float64
+}
+
+// FigC1 computes the minimal number of paired measurements to detect
+// P(A>B) > γ at false-positive rate alpha and false-negative rate beta.
+func FigC1(alpha, beta float64) FigC1Result {
+	res := FigC1Result{Alpha: alpha, Beta: beta}
+	for g := 0.55; g <= 0.9951; g += 0.01 {
+		res.Gammas = append(res.Gammas, g)
+		res.N = append(res.N, stats.NoetherSampleSize(g, alpha, beta))
+	}
+	res.Recommended.Gamma = 0.75
+	res.Recommended.N = stats.NoetherSampleSize(0.75, alpha, beta)
+	return res
+}
+
+// Render writes the sample-size table and plot.
+func (r FigC1Result) Render(w io.Writer) error {
+	tb := &report.Table{
+		Title: fmt.Sprintf(
+			"Figure C.1 — minimal sample size vs γ (α=%.2g, β=%.2g)", r.Alpha, r.Beta),
+		Headers: []string{"gamma", "min N"},
+	}
+	for i := range r.Gammas {
+		if i%5 != 0 && r.Gammas[i] != r.Recommended.Gamma {
+			continue
+		}
+		tb.AddRow(r.Gammas[i], r.N[i])
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	series := report.Series{Name: "min N (capped at 200 for display)"}
+	for i := range r.Gammas {
+		series.X = append(series.X, r.Gammas[i])
+		series.Y = append(series.Y, math.Min(float64(r.N[i]), 200))
+	}
+	fmt.Fprintln(w)
+	if err := report.LinePlot(w, "sample size vs γ", []report.Series{series}, 60, 12); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recommended: γ=%.2f → N=%d (paper: 29)\n",
+		r.Recommended.Gamma, r.Recommended.N)
+	return nil
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/pipeline"
+	"varbench/internal/report"
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+// FigF2Result holds the hyperparameter-optimization curves of Figure F.2:
+// for each task and optimizer, the mean and std (across ξH repetitions) of
+// the best-so-far validation error and the matching test error.
+type FigF2Result struct {
+	Tasks []FigF2Task
+}
+
+// FigF2Task is one panel row of Figure F.2.
+type FigF2Task struct {
+	Task   string
+	Curves []FigF2Curve
+}
+
+// FigF2Curve is one optimizer's averaged optimization trajectory.
+type FigF2Curve struct {
+	Optimizer  string
+	Iterations []int
+	ValidMean  []float64 // best-so-far validation error (1 - perf)
+	ValidStd   []float64
+	TestMean   []float64 // test error of the best-so-far trial
+	TestStd    []float64
+}
+
+// FigF2 runs HOptRepetitions independent optimizations per optimizer and
+// task, varying only ξH, and aggregates best-so-far curves.
+func FigF2(studies []*casestudy.Study, b Budget, baseSeed uint64) (FigF2Result, error) {
+	res := FigF2Result{}
+	for _, s := range studies {
+		taskRes := FigF2Task{Task: s.Name()}
+		base := xrand.NewStreams(baseSeed)
+		split, err := s.Split(base.Get(xrand.VarDataSplit))
+		if err != nil {
+			return FigF2Result{}, err
+		}
+		for _, opt := range hoptOptimizers() {
+			validRuns := make([][]float64, 0, b.HOptRepetitions)
+			testRuns := make([][]float64, 0, b.HOptRepetitions)
+			seeder := xrand.New(baseSeed ^ 0xF16F2)
+			for rep := 0; rep < b.HOptRepetitions; rep++ {
+				streams := xrand.NewStreams(baseSeed)
+				streams.Reseed(xrand.VarHOpt, seeder.Uint64())
+				hres, err := pipeline.HOpt(s, opt, b.HOptBudget, split, streams)
+				if err != nil {
+					return FigF2Result{}, fmt.Errorf("figF2 %s/%s: %w", s.Name(), opt.Name(), err)
+				}
+				valid := hres.History.BestSoFar()
+				// Test error of the best-so-far trial at each iteration.
+				test := make([]float64, len(valid))
+				bestVal, bestTest := 2.0, 0.0
+				for i, tr := range hres.History {
+					if tr.Value < bestVal {
+						bestVal = tr.Value
+						bestTest = 1 - hres.TestCurve[i]
+					}
+					test[i] = bestTest
+				}
+				validRuns = append(validRuns, valid)
+				testRuns = append(testRuns, test)
+			}
+			curve := FigF2Curve{Optimizer: opt.Name()}
+			iters := minLen(validRuns)
+			for i := 0; i < iters; i++ {
+				col := func(runs [][]float64) []float64 {
+					c := make([]float64, len(runs))
+					for r := range runs {
+						c[r] = runs[r][i]
+					}
+					return c
+				}
+				v := col(validRuns)
+				tt := col(testRuns)
+				curve.Iterations = append(curve.Iterations, i+1)
+				curve.ValidMean = append(curve.ValidMean, stats.Mean(v))
+				curve.ValidStd = append(curve.ValidStd, stats.Std(v))
+				curve.TestMean = append(curve.TestMean, stats.Mean(tt))
+				curve.TestStd = append(curve.TestStd, stats.Std(tt))
+			}
+			taskRes.Curves = append(taskRes.Curves, curve)
+		}
+		res.Tasks = append(res.Tasks, taskRes)
+	}
+	return res, nil
+}
+
+func minLen(runs [][]float64) int {
+	m := -1
+	for _, r := range runs {
+		if m < 0 || len(r) < m {
+			m = len(r)
+		}
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Render writes the final-iteration summary table and validation curves.
+func (r FigF2Result) Render(w io.Writer) error {
+	for _, t := range r.Tasks {
+		tb := &report.Table{
+			Title: fmt.Sprintf("Figure F.2 — HPO optimization curves (%s)", t.Task),
+			Headers: []string{"optimizer", "iters",
+				"final valid err (mean±std)", "final test err (mean±std)"},
+		}
+		var series []report.Series
+		for _, c := range t.Curves {
+			last := len(c.Iterations) - 1
+			tb.AddRow(c.Optimizer, c.Iterations[last],
+				fmt.Sprintf("%.4f±%.4f", c.ValidMean[last], c.ValidStd[last]),
+				fmt.Sprintf("%.4f±%.4f", c.TestMean[last], c.TestStd[last]))
+			s := report.Series{Name: c.Optimizer}
+			for i := range c.Iterations {
+				s.X = append(s.X, float64(c.Iterations[i]))
+				s.Y = append(s.Y, c.ValidMean[i])
+			}
+			series = append(series, s)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		if err := report.LinePlot(w, "best-so-far validation error", series, 60, 10); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// CheckShape verifies the F.2 qualitative observations: best-so-far curves
+// are non-increasing, and the ξH std at the final iteration is finite and
+// stabilized (greater than zero for at least one optimizer).
+func (r FigF2Result) CheckShape() []string {
+	var issues []string
+	for _, t := range r.Tasks {
+		anyStd := false
+		for _, c := range t.Curves {
+			for i := 1; i < len(c.ValidMean); i++ {
+				if c.ValidMean[i] > c.ValidMean[i-1]+1e-12 {
+					issues = append(issues, fmt.Sprintf(
+						"%s/%s: best-so-far increased at iter %d", t.Task, c.Optimizer, i+1))
+					break
+				}
+			}
+			if c.ValidStd[len(c.ValidStd)-1] > 0 {
+				anyStd = true
+			}
+		}
+		if !anyStd {
+			issues = append(issues, fmt.Sprintf("%s: no ξH variance in any optimizer", t.Task))
+		}
+	}
+	return issues
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/estimator"
+	"varbench/internal/report"
+	"varbench/internal/stats"
+)
+
+// FigG3Result holds the Shapiro-Wilk normality screen of the performance
+// distributions (Figure G.3): one p-value per task × source of variation,
+// plus an "altogether" row with every ξO source randomized jointly.
+type FigG3Result struct {
+	Cells []FigG3Cell
+}
+
+// FigG3Cell is one task × source entry.
+type FigG3Cell struct {
+	Task    string
+	Source  string
+	N       int
+	W       float64
+	PValue  float64
+	MeanPct float64
+	// Degenerate marks sources whose measures were all identical (e.g.
+	// numerical noise too small to flip any prediction): normality is then
+	// untestable, which the paper's pipeline would report as zero variance.
+	Degenerate bool
+	// Measures holds the raw performance values (for histograms).
+	Measures []float64
+}
+
+// FigG3 reuses the Figure 1 measurement protocol and tests each measure
+// vector for normality.
+func FigG3(studies []*casestudy.Study, b Budget, baseSeed uint64) (FigG3Result, error) {
+	res := FigG3Result{}
+	for _, s := range studies {
+		sources := s.Sources()
+		for _, v := range sources {
+			m, err := estimator.SourceMeasures(s, s.Defaults(), v, b.SeedsPerSource, baseSeed)
+			if err != nil {
+				return FigG3Result{}, fmt.Errorf("figG3 %s/%s: %w", s.Name(), v, err)
+			}
+			cell, err := g3Cell(s.Name(), string(v), m)
+			if err != nil {
+				return FigG3Result{}, err
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+		// "Altogether": all ξO sources randomized jointly — equivalent to
+		// the biased estimator with SubsetAll but without HOpt, which is
+		// exactly one fresh Streams root per run.
+		all, err := estimator.AllSourcesMeasures(s, s.Defaults(), b.SeedsPerSource, baseSeed)
+		if err != nil {
+			return FigG3Result{}, err
+		}
+		cell, err := g3Cell(s.Name(), "altogether", all)
+		if err != nil {
+			return FigG3Result{}, err
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+func g3Cell(task, source string, m []float64) (FigG3Cell, error) {
+	if min, max := stats.MinMax(m); min == max {
+		return FigG3Cell{
+			Task: task, Source: source, N: len(m),
+			W: math.NaN(), PValue: math.NaN(),
+			MeanPct: 100 * stats.Mean(m), Degenerate: true,
+			Measures: append([]float64(nil), m...),
+		}, nil
+	}
+	w, p, err := stats.ShapiroWilk(m)
+	if err != nil {
+		return FigG3Cell{}, fmt.Errorf("figG3 %s/%s: %w", task, source, err)
+	}
+	return FigG3Cell{
+		Task: task, Source: source, N: len(m),
+		W: w, PValue: p, MeanPct: 100 * stats.Mean(m),
+		Measures: append([]float64(nil), m...),
+	}, nil
+}
+
+// Render writes the normality table.
+func (r FigG3Result) Render(w io.Writer) error {
+	tb := &report.Table{
+		Title:   "Figure G.3 — Shapiro-Wilk normality of performance distributions",
+		Headers: []string{"task", "source", "n", "W", "p-value", "normal at 5%?"},
+	}
+	for _, c := range r.Cells {
+		verdict := "yes"
+		switch {
+		case c.Degenerate:
+			verdict = "degenerate (zero variance)"
+		case c.PValue < 0.05:
+			verdict = "no"
+		}
+		tb.AddRow(c.Task, c.Source, c.N, c.W, c.PValue, verdict)
+	}
+	return tb.Render(w)
+}
+
+// RenderHistograms writes an ASCII histogram per "altogether" row — the
+// terminal stand-in for Figure G.3's kernel-density column.
+func (r FigG3Result) RenderHistograms(w io.Writer) error {
+	for _, c := range r.Cells {
+		if c.Source != "altogether" || c.Degenerate {
+			continue
+		}
+		if err := report.Histogram(w,
+			fmt.Sprintf("%s — all ξO randomized", c.Task), c.Measures, 8, 40); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// NormalShare returns the fraction of testable cells consistent with
+// normality at 5%.
+func (r FigG3Result) NormalShare() float64 {
+	n, total := 0, 0
+	for _, c := range r.Cells {
+		if c.Degenerate {
+			continue
+		}
+		total++
+		if c.PValue >= 0.05 {
+			n++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}

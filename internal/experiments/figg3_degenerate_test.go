@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestG3CellDegenerateConstantSample(t *testing.T) {
+	// Bit-identical measures (numerical noise below metric resolution) must
+	// be reported as degenerate, not crash the normality screen — this is a
+	// regression test for the pascalvoc numerical-noise case.
+	m := make([]float64, 15)
+	for i := range m {
+		m[i] = 0.6709412627753913
+	}
+	cell, err := g3Cell("task", "numerical-noise", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.Degenerate {
+		t.Fatal("constant sample not marked degenerate")
+	}
+	if !math.IsNaN(cell.W) || !math.IsNaN(cell.PValue) {
+		t.Error("degenerate cell should have NaN statistics")
+	}
+
+	// NormalShare must skip degenerate cells.
+	res := FigG3Result{Cells: []FigG3Cell{
+		cell,
+		{PValue: 0.5},
+		{PValue: 0.01},
+	}}
+	if got := res.NormalShare(); got != 0.5 {
+		t.Errorf("NormalShare = %v, want 0.5 (degenerate excluded)", got)
+	}
+
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "degenerate") {
+		t.Error("render should mark the degenerate row")
+	}
+}
+
+func TestG3CellAllDegenerate(t *testing.T) {
+	res := FigG3Result{Cells: []FigG3Cell{{Degenerate: true}}}
+	if got := res.NormalShare(); got != 0 {
+		t.Errorf("all-degenerate NormalShare = %v, want 0", got)
+	}
+}

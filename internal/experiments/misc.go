@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/report"
+)
+
+// RenderSpaces writes the hyperparameter search spaces and defaults of every
+// case study — the content of Tables 2, 3, 5 and 6/7.
+func RenderSpaces(w io.Writer, studies []*casestudy.Study) error {
+	for _, s := range studies {
+		tb := &report.Table{
+			Title:   fmt.Sprintf("Search space — %s", s.Name()),
+			Headers: []string{"hyperparameter", "default", "low", "high", "scale"},
+		}
+		def := s.Defaults()
+		for _, d := range s.Space() {
+			scale := "linear"
+			if d.Log {
+				scale = "log"
+			}
+			tb.AddRow(d.Name, def[d.Name], d.Lo, d.Hi, scale)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RenderEnv writes the computational-environment table (the analogue of
+// Tables 1, 4 and 10: the paper records hardware/driver versions because
+// they affect reproducibility; here the runtime is pure Go).
+func RenderEnv(w io.Writer) error {
+	tb := &report.Table{
+		Title:   "Computational environment",
+		Headers: []string{"component", "value"},
+	}
+	tb.AddRow("go version", runtime.Version())
+	tb.AddRow("GOOS/GOARCH", runtime.GOOS+"/"+runtime.GOARCH)
+	tb.AddRow("logical CPUs", runtime.NumCPU())
+	tb.AddRow("GOMAXPROCS", runtime.GOMAXPROCS(0))
+	tb.AddRow("numerics", "float64 throughout; deterministic unless ReduceNondeterministic")
+	return tb.Render(w)
+}

@@ -1,0 +1,89 @@
+package hpo
+
+import (
+	"math"
+
+	"varbench/internal/xrand"
+)
+
+// Hyperband (Li et al. 2018) hedges successive halving's aggressiveness by
+// running several SHA brackets that trade the number of configurations
+// against their starting budget. Bracket s starts
+// n = ⌈(s_max+1)/(s+1)·η^s⌉ configurations at budget R·η^{−s}, for
+// s = s_max … 0 with s_max = ⌊log_η R⌋.
+type Hyperband struct {
+	Eta       int // elimination factor (default 3)
+	MaxBudget int // R: the full training budget per configuration (default 27)
+}
+
+// Name identifies the optimizer.
+func (Hyperband) Name() string { return "hyperband" }
+
+func (h Hyperband) defaults() Hyperband {
+	if h.Eta < 2 {
+		h.Eta = 3
+	}
+	if h.MaxBudget < 1 {
+		h.MaxBudget = 27
+	}
+	return h
+}
+
+// Bracket is one SHA run within Hyperband.
+type Bracket struct {
+	S       int
+	Configs int
+	MinR    int
+	History SHAHistory
+}
+
+// HyperbandResult aggregates all brackets.
+type HyperbandResult struct {
+	Brackets []Bracket
+}
+
+// Best returns the best final-rung trial across brackets.
+func (r HyperbandResult) Best() (Trial, bool) {
+	var best Trial
+	found := false
+	for _, b := range r.Brackets {
+		if t, ok := b.History.Best(); ok && (!found || t.Value < best.Value) {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TotalBudget sums the (restart-model) budget of all brackets.
+func (r HyperbandResult) TotalBudget() int {
+	total := 0
+	for _, b := range r.Brackets {
+		total += b.History.TotalBudget()
+	}
+	return total
+}
+
+// Optimize runs the full bracket schedule.
+func (h Hyperband) Optimize(obj BudgetedObjective, space Space, r *xrand.Source) (HyperbandResult, error) {
+	if err := space.Validate(); err != nil {
+		return HyperbandResult{}, err
+	}
+	h = h.defaults()
+	eta := float64(h.Eta)
+	sMax := int(math.Floor(math.Log(float64(h.MaxBudget)) / math.Log(eta)))
+	var res HyperbandResult
+	for s := sMax; s >= 0; s-- {
+		n := int(math.Ceil(float64(sMax+1) / float64(s+1) * math.Pow(eta, float64(s))))
+		minR := int(math.Max(1, math.Floor(float64(h.MaxBudget)*math.Pow(eta, -float64(s)))))
+		sha := SuccessiveHalving{Eta: h.Eta, MinBudget: minR, MaxBudget: h.MaxBudget}
+		hist, err := sha.Optimize(obj, space, n, r)
+		if err != nil {
+			return HyperbandResult{}, err
+		}
+		res.Brackets = append(res.Brackets, Bracket{
+			S: s, Configs: n, MinR: minR, History: hist,
+		})
+	}
+	return res, nil
+}

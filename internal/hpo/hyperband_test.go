@@ -1,0 +1,77 @@
+package hpo
+
+import (
+	"testing"
+
+	"varbench/internal/xrand"
+)
+
+func TestHyperbandBracketSchedule(t *testing.T) {
+	hb := Hyperband{Eta: 3, MaxBudget: 27}
+	res, err := hb.Optimize(budgetedSphere, sphereSpace, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s_max = 3: brackets s = 3, 2, 1, 0.
+	if len(res.Brackets) != 4 {
+		t.Fatalf("brackets = %d, want 4", len(res.Brackets))
+	}
+	// Standard Hyperband schedule for η=3, R=27:
+	// s=3: n=27, r=1; s=2: n=12, r=3; s=1: n=6, r=9; s=0: n=4, r=27.
+	want := []struct{ n, r int }{{27, 1}, {12, 3}, {6, 9}, {4, 27}}
+	for i, b := range res.Brackets {
+		if b.Configs != want[i].n || b.MinR != want[i].r {
+			t.Errorf("bracket s=%d: n=%d r=%d, want n=%d r=%d",
+				b.S, b.Configs, b.MinR, want[i].n, want[i].r)
+		}
+	}
+}
+
+func TestHyperbandFindsMinimum(t *testing.T) {
+	hb := Hyperband{Eta: 3, MaxBudget: 27}
+	res, err := hb.Optimize(budgetedSphere, sphereSpace, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no best")
+	}
+	trueVal := best.Value - 1.0/27
+	if trueVal > 0.05 {
+		t.Errorf("Hyperband best true value = %v, want < 0.05", trueVal)
+	}
+	if res.TotalBudget() <= 0 {
+		t.Error("budget accounting broken")
+	}
+}
+
+func TestHyperbandDefaultsAndValidation(t *testing.T) {
+	h := Hyperband{}.defaults()
+	if h.Eta != 3 || h.MaxBudget != 27 {
+		t.Errorf("defaults = %+v", h)
+	}
+	bad := Space{{Name: "x", Lo: 1, Hi: 0}}
+	if _, err := (Hyperband{}).Optimize(budgetedSphere, bad, xrand.New(1)); err == nil {
+		t.Error("invalid space accepted")
+	}
+}
+
+func TestHyperbandLastBracketIsFullBudgetSearch(t *testing.T) {
+	// Bracket s=0 runs every configuration at MaxBudget directly: its rung
+	// history must contain only MaxBudget evaluations.
+	hb := Hyperband{Eta: 3, MaxBudget: 9}
+	res, err := hb.Optimize(budgetedSphere, sphereSpace, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Brackets[len(res.Brackets)-1]
+	if last.S != 0 {
+		t.Fatalf("last bracket s = %d", last.S)
+	}
+	for _, r := range last.History.Rungs {
+		if r.Budget != 9 {
+			t.Errorf("bracket 0 rung at budget %d, want 9", r.Budget)
+		}
+	}
+}

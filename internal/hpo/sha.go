@@ -1,0 +1,119 @@
+package hpo
+
+import (
+	"fmt"
+	"sort"
+
+	"varbench/internal/xrand"
+)
+
+// BudgetedObjective evaluates hyperparameters at a given training budget
+// (e.g. epochs). Successive halving probes many configurations cheaply and
+// spends full budget only on survivors. Implementations may cache partial
+// training state per configuration and continue rather than restart (see
+// pipeline.BudgetedObjective).
+type BudgetedObjective func(p Params, budget int) float64
+
+// SuccessiveHalving is the SHA bandit-based hyperparameter optimizer
+// (Jamieson & Talwalkar 2016), an extension beyond the paper's three
+// optimizers: n random configurations start at MinBudget; at each rung the
+// best 1/Eta fraction survive and train Eta× longer, until MaxBudget.
+type SuccessiveHalving struct {
+	Eta       int // elimination factor (default 3)
+	MinBudget int // first-rung budget (default 1)
+	MaxBudget int // final-rung budget (default 27)
+}
+
+// Name identifies the optimizer.
+func (SuccessiveHalving) Name() string { return "successive-halving" }
+
+func (s SuccessiveHalving) defaults() SuccessiveHalving {
+	if s.Eta < 2 {
+		s.Eta = 3
+	}
+	if s.MinBudget < 1 {
+		s.MinBudget = 1
+	}
+	if s.MaxBudget < s.MinBudget {
+		s.MaxBudget = s.MinBudget * s.Eta * s.Eta * s.Eta
+	}
+	return s
+}
+
+// RungResult records one configuration's evaluation at one rung.
+type RungResult struct {
+	Rung   int
+	Budget int
+	Trial  Trial
+}
+
+// SHAHistory is the full successive-halving trace.
+type SHAHistory struct {
+	Rungs []RungResult
+	// Final holds the surviving configurations' last-rung trials.
+	Final History
+}
+
+// Best returns the best final-rung trial.
+func (h SHAHistory) Best() (Trial, bool) { return h.Final.Best() }
+
+// TotalBudget returns the summed training budget consumed, assuming
+// restart-based evaluation (continuation-based objectives consume less).
+func (h SHAHistory) TotalBudget() int {
+	total := 0
+	for _, r := range h.Rungs {
+		total += r.Budget
+	}
+	return total
+}
+
+// Optimize runs successive halving with n initial random configurations.
+// The objective must be deterministic given (params, budget) for the
+// elimination ordering to be meaningful.
+func (s SuccessiveHalving) Optimize(obj BudgetedObjective, space Space, n int,
+	r *xrand.Source) (SHAHistory, error) {
+	if err := space.Validate(); err != nil {
+		return SHAHistory{}, err
+	}
+	if n < 1 {
+		return SHAHistory{}, fmt.Errorf("hpo: need at least one configuration")
+	}
+	s = s.defaults()
+
+	configs := make([]Params, n)
+	for i := range configs {
+		configs[i] = space.SampleUniform(r)
+	}
+
+	var hist SHAHistory
+	budget := s.MinBudget
+	rung := 0
+	for {
+		results := make(History, len(configs))
+		for i, p := range configs {
+			results[i] = Trial{Params: p, Value: obj(p, budget)}
+			hist.Rungs = append(hist.Rungs, RungResult{Rung: rung, Budget: budget, Trial: results[i]})
+		}
+		if budget >= s.MaxBudget || len(configs) == 1 {
+			hist.Final = results
+			return hist, nil
+		}
+		// Keep the top 1/Eta fraction (at least one).
+		sort.SliceStable(results, func(a, b int) bool {
+			return results[a].Value < results[b].Value
+		})
+		keep := len(configs) / s.Eta
+		if keep < 1 {
+			keep = 1
+		}
+		configs = configs[:0]
+		for _, t := range results[:keep] {
+			configs = append(configs, t.Params)
+		}
+		budget *= s.Eta
+		if budget > s.MaxBudget {
+			budget = s.MaxBudget
+		}
+		rung++
+	}
+}

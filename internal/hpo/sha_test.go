@@ -1,0 +1,128 @@
+package hpo
+
+import (
+	"math"
+	"testing"
+
+	"varbench/internal/xrand"
+)
+
+// budgetedSphere converges toward the true value as budget grows: at low
+// budget the evaluation is biased away from the optimum, modelling partial
+// training.
+func budgetedSphere(p Params, budget int) float64 {
+	dx := p["x"] - 0.3
+	dy := p["y"] - 0.7
+	true_ := dx*dx + dy*dy
+	return true_ + 1.0/float64(budget) // uniform optimism gap shrinking in budget
+}
+
+func TestSHAFindsMinimum(t *testing.T) {
+	sha := SuccessiveHalving{Eta: 3, MinBudget: 1, MaxBudget: 27}
+	hist, err := sha.Optimize(budgetedSphere, sphereSpace, 27, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := hist.Best()
+	if !ok {
+		t.Fatal("no best")
+	}
+	// Remove the budget offset to compare against the true objective.
+	trueVal := best.Value - 1.0/27
+	if trueVal > 0.05 {
+		t.Errorf("SHA best true value = %v, want < 0.05", trueVal)
+	}
+}
+
+func TestSHARungStructure(t *testing.T) {
+	sha := SuccessiveHalving{Eta: 3, MinBudget: 1, MaxBudget: 9}
+	hist, err := sha.Optimize(budgetedSphere, sphereSpace, 9, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rung 0: 9 configs at budget 1; rung 1: 3 at budget 3; rung 2: 1 at 9.
+	counts := map[int]int{}
+	budgets := map[int]int{}
+	for _, r := range hist.Rungs {
+		counts[r.Rung]++
+		budgets[r.Rung] = r.Budget
+	}
+	if counts[0] != 9 || counts[1] != 3 || counts[2] != 1 {
+		t.Errorf("rung sizes = %v, want 9/3/1", counts)
+	}
+	if budgets[0] != 1 || budgets[1] != 3 || budgets[2] != 9 {
+		t.Errorf("rung budgets = %v, want 1/3/9", budgets)
+	}
+	if len(hist.Final) != 1 {
+		t.Errorf("final rung has %d configs", len(hist.Final))
+	}
+	// Total restart-based budget: 9·1 + 3·3 + 1·9 = 27, vs 9·9 = 81 for
+	// full-budget random search over the same configs.
+	if hist.TotalBudget() != 27 {
+		t.Errorf("total budget = %d, want 27", hist.TotalBudget())
+	}
+}
+
+func TestSHASurvivorsAreBest(t *testing.T) {
+	sha := SuccessiveHalving{Eta: 2, MinBudget: 1, MaxBudget: 4}
+	hist, err := sha.Optimize(budgetedSphere, sphereSpace, 8, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect rung-0 values and rung-1 participants: every rung-1 config's
+	// rung-0 value must be ≤ the median of eliminated ones.
+	var rung0 []RungResult
+	rung1 := map[string]bool{}
+	for _, r := range hist.Rungs {
+		if r.Rung == 0 {
+			rung0 = append(rung0, r)
+		}
+		if r.Rung == 1 {
+			rung1[r.Trial.Params.String()] = true
+		}
+	}
+	var surviving, eliminated []float64
+	for _, r := range rung0 {
+		if rung1[r.Trial.Params.String()] {
+			surviving = append(surviving, r.Trial.Value)
+		} else {
+			eliminated = append(eliminated, r.Trial.Value)
+		}
+	}
+	maxSurv := math.Inf(-1)
+	for _, v := range surviving {
+		if v > maxSurv {
+			maxSurv = v
+		}
+	}
+	for _, v := range eliminated {
+		if v < maxSurv {
+			t.Errorf("eliminated config (%.4f) was better than a survivor (%.4f)", v, maxSurv)
+		}
+	}
+}
+
+func TestSHADefaultsAndErrors(t *testing.T) {
+	s := SuccessiveHalving{}.defaults()
+	if s.Eta != 3 || s.MinBudget != 1 || s.MaxBudget != 27 {
+		t.Errorf("defaults = %+v", s)
+	}
+	if _, err := (SuccessiveHalving{}).Optimize(budgetedSphere, sphereSpace, 0, xrand.New(1)); err == nil {
+		t.Error("n=0 should error")
+	}
+	bad := Space{{Name: "x", Lo: 1, Hi: 0}}
+	if _, err := (SuccessiveHalving{}).Optimize(budgetedSphere, bad, 3, xrand.New(1)); err == nil {
+		t.Error("invalid space should error")
+	}
+}
+
+func TestSHASingleConfig(t *testing.T) {
+	sha := SuccessiveHalving{Eta: 3, MinBudget: 2, MaxBudget: 18}
+	hist, err := sha.Optimize(budgetedSphere, sphereSpace, 1, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Final) != 1 {
+		t.Errorf("single-config SHA final = %d", len(hist.Final))
+	}
+}

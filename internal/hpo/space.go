@@ -1,0 +1,198 @@
+// Package hpo implements the hyperparameter-optimization substrate: search
+// space definitions and the three optimizer families whose variance the
+// paper studies in Figure 1 — random search, (noisy) grid search (Appendix
+// E), and Bayesian optimization with a Gaussian process and expected
+// improvement. Every optimizer's stochastic choices (ξH) come from an
+// explicit xrand stream, so HOpt variance can be probed in isolation.
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"varbench/internal/xrand"
+)
+
+// Dim is one hyperparameter dimension with bounds [Lo, Hi]. Log dimensions
+// (learning rates, weight decays) are searched uniformly in log space, like
+// the paper's log(·) search spaces in Tables 2/3/5/6.
+type Dim struct {
+	Name string
+	Lo   float64
+	Hi   float64
+	Log  bool
+}
+
+// Space is an ordered list of dimensions.
+type Space []Dim
+
+// Validate checks bounds (log dims must be positive, Lo < Hi).
+func (s Space) Validate() error {
+	seen := map[string]bool{}
+	for _, d := range s {
+		if d.Name == "" {
+			return fmt.Errorf("hpo: empty dimension name")
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("hpo: duplicate dimension %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Lo >= d.Hi {
+			return fmt.Errorf("hpo: dimension %q has Lo ≥ Hi", d.Name)
+		}
+		if d.Log && d.Lo <= 0 {
+			return fmt.Errorf("hpo: log dimension %q needs positive bounds", d.Name)
+		}
+	}
+	return nil
+}
+
+// Params assigns a value to each hyperparameter.
+type Params map[string]float64
+
+// Clone returns a copy of p.
+func (p Params) Clone() Params {
+	c := make(Params, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the parameters in deterministic name order.
+func (p Params) String() string {
+	out := ""
+	for i, name := range sortedNames(p) {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.4g", name, p[name])
+	}
+	return out
+}
+
+// Clip returns a copy of p with every dimension clipped into the space
+// bounds (used when noisy-grid perturbation extends past the search space).
+func (s Space) Clip(p Params) Params {
+	c := p.Clone()
+	for _, d := range s {
+		if v, ok := c[d.Name]; ok {
+			if v < d.Lo {
+				c[d.Name] = d.Lo
+			}
+			if v > d.Hi {
+				c[d.Name] = d.Hi
+			}
+		}
+	}
+	return c
+}
+
+// SampleUniform draws one point uniformly (log-uniformly for log dims).
+func (s Space) SampleUniform(r *xrand.Source) Params {
+	p := make(Params, len(s))
+	for _, d := range s {
+		if d.Log {
+			p[d.Name] = r.LogUniform(d.Lo, d.Hi)
+		} else {
+			p[d.Name] = r.Uniform(d.Lo, d.Hi)
+		}
+	}
+	return p
+}
+
+// ToUnit maps params to [0,1]^d coordinates (log dims in log space), the
+// representation used by the GP surrogate.
+func (s Space) ToUnit(p Params) []float64 {
+	u := make([]float64, len(s))
+	for i, d := range s {
+		v := p[d.Name]
+		if d.Log {
+			u[i] = (math.Log(v) - math.Log(d.Lo)) / (math.Log(d.Hi) - math.Log(d.Lo))
+		} else {
+			u[i] = (v - d.Lo) / (d.Hi - d.Lo)
+		}
+	}
+	return u
+}
+
+// FromUnit maps unit coordinates back to params.
+func (s Space) FromUnit(u []float64) Params {
+	p := make(Params, len(s))
+	for i, d := range s {
+		v := u[i]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		if d.Log {
+			p[d.Name] = math.Exp(math.Log(d.Lo) + v*(math.Log(d.Hi)-math.Log(d.Lo)))
+		} else {
+			p[d.Name] = d.Lo + v*(d.Hi-d.Lo)
+		}
+	}
+	return p
+}
+
+// Trial is one objective evaluation.
+type Trial struct {
+	Params Params
+	Value  float64 // objective value (lower is better)
+}
+
+// History is an ordered list of trials.
+type History []Trial
+
+// Best returns the trial with the lowest value; ok is false for empty
+// history.
+func (h History) Best() (Trial, bool) {
+	if len(h) == 0 {
+		return Trial{}, false
+	}
+	best := h[0]
+	for _, t := range h[1:] {
+		if t.Value < best.Value {
+			best = t
+		}
+	}
+	return best, true
+}
+
+// BestSoFar returns the running minimum after each trial — the optimization
+// curves of Figure F.2.
+func (h History) BestSoFar() []float64 {
+	out := make([]float64, len(h))
+	cur := math.Inf(1)
+	for i, t := range h {
+		if t.Value < cur {
+			cur = t.Value
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// Objective evaluates one hyperparameter setting, returning a value to
+// minimize (e.g. validation error; Equation 2's r(λ)).
+type Objective func(Params) float64
+
+// Optimizer runs a budgeted hyperparameter search. Implementations must be
+// deterministic given the stream r.
+type Optimizer interface {
+	Name() string
+	Optimize(obj Objective, space Space, budget int, r *xrand.Source) (History, error)
+}
+
+// sortedNames returns dimension names in a stable order for deterministic
+// iteration.
+func sortedNames(p Params) []string {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,66 @@
+// Package nn implements the from-scratch neural-network substrate used by
+// the case studies: multi-layer perceptrons with manual backpropagation,
+// seedable weight initialization, dropout, and SGD with momentum, weight
+// decay and exponential learning-rate decay (the optimizer family of
+// Appendix D). Every stochastic element draws from a named xrand stream, so
+// each source of variation in Figure 1 can be varied in isolation.
+package nn
+
+import (
+	"math"
+
+	"varbench/internal/tensor"
+	"varbench/internal/xrand"
+)
+
+// Initializer fills a weight matrix given its fan-in and fan-out.
+type Initializer interface {
+	Init(w *tensor.Matrix, r *xrand.Source)
+	Name() string
+}
+
+// GlorotUniform is the Glorot & Bengio (2010) uniform initializer used by
+// the CIFAR10-VGG11 and MHC case studies: U(±sqrt(6/(fanIn+fanOut))).
+type GlorotUniform struct{}
+
+// Init implements Initializer.
+func (GlorotUniform) Init(w *tensor.Matrix, r *xrand.Source) {
+	limit := math.Sqrt(6 / float64(w.Rows+w.Cols))
+	for i := range w.Data {
+		w.Data[i] = r.Uniform(-limit, limit)
+	}
+}
+
+// Name implements Initializer.
+func (GlorotUniform) Name() string { return "glorot-uniform" }
+
+// He is the He et al. (2015) normal initializer, suited to ReLU networks:
+// N(0, 2/fanIn).
+type He struct{}
+
+// Init implements Initializer.
+func (He) Init(w *tensor.Matrix, r *xrand.Source) {
+	std := math.Sqrt(2 / float64(w.Rows))
+	for i := range w.Data {
+		w.Data[i] = std * r.NormFloat64()
+	}
+}
+
+// Name implements Initializer.
+func (He) Name() string { return "he" }
+
+// Normal initializes from N(0, Std²); the BERT case studies tune this Std as
+// a hyperparameter for the final classifier head (Table 3).
+type Normal struct {
+	Std float64
+}
+
+// Init implements Initializer.
+func (n Normal) Init(w *tensor.Matrix, r *xrand.Source) {
+	for i := range w.Data {
+		w.Data[i] = n.Std * r.NormFloat64()
+	}
+}
+
+// Name implements Initializer.
+func (n Normal) Name() string { return "normal" }

@@ -1,0 +1,296 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"varbench/internal/tensor"
+	"varbench/internal/xrand"
+)
+
+// Activation selects the hidden non-linearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Tanh
+)
+
+// Loss selects the training objective.
+type Loss int
+
+const (
+	// CrossEntropy is softmax cross-entropy over class logits.
+	CrossEntropy Loss = iota
+	// MSELoss is mean squared error for regression.
+	MSELoss
+)
+
+// MLP is a fully connected network with one output layer and zero or more
+// hidden layers. Weights[l] has shape in_l × out_l; Biases[l] has length
+// out_l.
+type MLP struct {
+	Weights    []*tensor.Matrix
+	Biases     [][]float64
+	Activation Activation
+	Loss       Loss
+	Dropout    float64 // hidden-layer dropout probability
+}
+
+// NewMLP builds a network with the given layer sizes (input, hidden...,
+// output) and initializes all weights from init using the weight stream r.
+// Biases start at zero, like the PyTorch defaults used in the paper.
+func NewMLP(sizes []int, act Activation, loss Loss, dropout float64,
+	init Initializer, r *xrand.Source) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: need at least input and output sizes, got %v", sizes)
+	}
+	m := &MLP{Activation: act, Loss: loss, Dropout: dropout}
+	for l := 0; l+1 < len(sizes); l++ {
+		w := tensor.NewMatrix(sizes[l], sizes[l+1])
+		init.Init(w, r)
+		m.Weights = append(m.Weights, w)
+		m.Biases = append(m.Biases, make([]float64, sizes[l+1]))
+	}
+	return m, nil
+}
+
+// Clone returns a deep copy of the network.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Activation: m.Activation, Loss: m.Loss, Dropout: m.Dropout}
+	for l := range m.Weights {
+		c.Weights = append(c.Weights, m.Weights[l].Clone())
+		c.Biases = append(c.Biases, append([]float64(nil), m.Biases[l]...))
+	}
+	return c
+}
+
+// NumLayers returns the number of weight layers.
+func (m *MLP) NumLayers() int { return len(m.Weights) }
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.Weights {
+		n += len(m.Weights[l].Data) + len(m.Biases[l])
+	}
+	return n
+}
+
+// forwardCache stores per-layer values needed for backpropagation.
+type forwardCache struct {
+	inputs  []*tensor.Matrix // input to each layer (post-dropout of previous)
+	acts    []*tensor.Matrix // post-activation, pre-dropout hidden values
+	masks   []*tensor.Matrix // dropout masks (nil when not applied)
+	outputs *tensor.Matrix   // final raw outputs (logits / regression values)
+}
+
+// Forward computes raw outputs (logits for classification, values for
+// regression) in inference mode: no dropout.
+func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	cache := m.forward(x, nil)
+	return cache.outputs
+}
+
+// forward runs the network; if dropoutRng is non-nil, dropout masks are
+// sampled (training mode, inverted dropout scaling 1/(1-p)).
+func (m *MLP) forward(x *tensor.Matrix, dropoutRng *xrand.Source) *forwardCache {
+	cache := &forwardCache{}
+	h := x
+	for l := 0; l < m.NumLayers(); l++ {
+		cache.inputs = append(cache.inputs, h)
+		z := tensor.MatMul(h, m.Weights[l])
+		for i := 0; i < z.Rows; i++ {
+			row := z.Row(i)
+			for j := range row {
+				row[j] += m.Biases[l][j]
+			}
+		}
+		if l == m.NumLayers()-1 {
+			cache.masks = append(cache.masks, nil)
+			cache.outputs = z
+			break
+		}
+		switch m.Activation {
+		case ReLU:
+			z.Apply(func(v float64) float64 {
+				if v < 0 {
+					return 0
+				}
+				return v
+			})
+		case Tanh:
+			z.Apply(math.Tanh)
+		}
+		if dropoutRng != nil && m.Dropout > 0 {
+			cache.acts = append(cache.acts, z.Clone())
+			mask := tensor.NewMatrix(z.Rows, z.Cols)
+			keep := 1 - m.Dropout
+			for i := range mask.Data {
+				if dropoutRng.Float64() < keep {
+					mask.Data[i] = 1 / keep
+				}
+			}
+			for i := range z.Data {
+				z.Data[i] *= mask.Data[i]
+			}
+			cache.masks = append(cache.masks, mask)
+		} else {
+			cache.acts = append(cache.acts, z)
+			cache.masks = append(cache.masks, nil)
+		}
+		h = z
+	}
+	return cache
+}
+
+// Softmax returns row-wise softmax probabilities of logits.
+func Softmax(logits *tensor.Matrix) *tensor.Matrix {
+	p := logits.Clone()
+	for i := 0; i < p.Rows; i++ {
+		row := p.Row(i)
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return p
+}
+
+// gradients holds parameter gradients matching the MLP layout.
+type gradients struct {
+	w []*tensor.Matrix
+	b [][]float64
+}
+
+func newGradients(m *MLP) *gradients {
+	g := &gradients{}
+	for l := range m.Weights {
+		g.w = append(g.w, tensor.NewMatrix(m.Weights[l].Rows, m.Weights[l].Cols))
+		g.b = append(g.b, make([]float64, len(m.Biases[l])))
+	}
+	return g
+}
+
+func (g *gradients) add(o *gradients) {
+	for l := range g.w {
+		g.w[l].Add(o.w[l])
+		tensor.Axpy(1, o.b[l], g.b[l])
+	}
+}
+
+// lossAndGrad computes the mean loss over the batch and the parameter
+// gradients, given targets y (class indices for CrossEntropy, real values
+// for MSELoss).
+func (m *MLP) lossAndGrad(x *tensor.Matrix, y []float64, dropoutRng *xrand.Source) (float64, *gradients) {
+	cache := m.forward(x, dropoutRng)
+	n := float64(x.Rows)
+	out := cache.outputs
+
+	// delta = dLoss/dLogits.
+	var loss float64
+	delta := tensor.NewMatrix(out.Rows, out.Cols)
+	switch m.Loss {
+	case CrossEntropy:
+		probs := Softmax(out)
+		for i := 0; i < out.Rows; i++ {
+			c := int(y[i])
+			p := probs.At(i, c)
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss -= math.Log(p)
+			prow := probs.Row(i)
+			drow := delta.Row(i)
+			for j := range drow {
+				drow[j] = prow[j] / n
+			}
+			drow[c] -= 1 / n
+		}
+		loss /= n
+	case MSELoss:
+		for i := 0; i < out.Rows; i++ {
+			d := out.At(i, 0) - y[i]
+			loss += d * d
+			delta.Set(i, 0, 2*d/n)
+		}
+		loss /= n
+	}
+
+	g := newGradients(m)
+	for l := m.NumLayers() - 1; l >= 0; l-- {
+		in := cache.inputs[l]
+		// dW = inᵀ·delta ; db = column sums of delta.
+		g.w[l] = tensor.TMatMul(in, delta)
+		for i := 0; i < delta.Rows; i++ {
+			row := delta.Row(i)
+			for j, v := range row {
+				g.b[l][j] += v
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate: dIn = delta·Wᵀ, back through dropout, then through the
+		// activation using the pre-dropout activation values.
+		back := tensor.MatMulT(delta, m.Weights[l])
+		if mask := cache.masks[l-1]; mask != nil {
+			for i := range back.Data {
+				back.Data[i] *= mask.Data[i]
+			}
+		}
+		switch m.Activation {
+		case ReLU:
+			for i, v := range cache.acts[l-1].Data {
+				if v <= 0 {
+					back.Data[i] = 0
+				}
+			}
+		case Tanh:
+			for i, v := range cache.acts[l-1].Data {
+				back.Data[i] *= 1 - v*v
+			}
+		}
+		delta = back
+	}
+	return loss, g
+}
+
+// PredictLabels returns argmax class predictions for classification models.
+func (m *MLP) PredictLabels(x *tensor.Matrix) []int {
+	out := m.Forward(x)
+	labels := make([]int, out.Rows)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		labels[i] = best
+	}
+	return labels
+}
+
+// PredictValues returns scalar predictions for regression models.
+func (m *MLP) PredictValues(x *tensor.Matrix) []float64 {
+	out := m.Forward(x)
+	vals := make([]float64, out.Rows)
+	for i := range vals {
+		vals[i] = out.At(i, 0)
+	}
+	return vals
+}

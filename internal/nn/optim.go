@@ -1,0 +1,94 @@
+package nn
+
+import "math"
+
+// Algo selects the parameter-update rule.
+type Algo int
+
+const (
+	// SGD is stochastic gradient descent with momentum (the paper's
+	// CIFAR10/PascalVOC/MHC optimizer).
+	SGD Algo = iota
+	// Adam is the adaptive-moment optimizer used by the BERT case studies
+	// (Table 3 fixes β1 = 0.9, β2 = 0.999).
+	Adam
+)
+
+// optimState carries the mutable optimizer state: first moments (also the
+// SGD velocity), second moments (Adam only), and the step counter for
+// Adam's bias correction.
+type optimState struct {
+	m    *gradients
+	v    *gradients // nil for SGD
+	step int
+}
+
+func newOptimState(model *MLP, algo Algo) *optimState {
+	s := &optimState{m: newGradients(model)}
+	if algo == Adam {
+		s.v = newGradients(model)
+	}
+	return s
+}
+
+// adamDefaults fills unset Adam coefficients with the Table 3 values.
+func adamDefaults(beta1, beta2, eps float64) (float64, float64, float64) {
+	if beta1 == 0 {
+		beta1 = 0.9
+	}
+	if beta2 == 0 {
+		beta2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	return beta1, beta2, eps
+}
+
+// applyUpdate performs one optimizer step on all parameters.
+func applyUpdate(model *MLP, st *optimState, grad *gradients, cfg TrainConfig, lr float64) {
+	switch cfg.Algo {
+	case Adam:
+		applyAdam(model, st, grad, cfg, lr)
+	default:
+		applySGD(model, st.m, grad, lr, cfg.Momentum, cfg.WeightDecay)
+	}
+}
+
+// applyAdam performs one Adam step with decoupled-style L2 added to the
+// gradient (the classic Adam + weight decay formulation):
+//
+//	m ← β1·m + (1-β1)·g ; v ← β2·v + (1-β2)·g² ;
+//	θ ← θ − lr·m̂/(√v̂ + ε), with bias-corrected m̂, v̂.
+func applyAdam(model *MLP, st *optimState, grad *gradients, cfg TrainConfig, lr float64) {
+	beta1, beta2, eps := adamDefaults(cfg.Beta1, cfg.Beta2, cfg.AdamEps)
+	st.step++
+	bc1 := 1 - math.Pow(beta1, float64(st.step))
+	bc2 := 1 - math.Pow(beta2, float64(st.step))
+	for l := range model.Weights {
+		w := model.Weights[l]
+		g := grad.w[l]
+		m := st.m.w[l]
+		v := st.v.w[l]
+		for i := range w.Data {
+			gi := g.Data[i] + cfg.WeightDecay*w.Data[i]
+			m.Data[i] = beta1*m.Data[i] + (1-beta1)*gi
+			v.Data[i] = beta2*v.Data[i] + (1-beta2)*gi*gi
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			w.Data[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+		}
+		b := model.Biases[l]
+		gb := grad.b[l]
+		mb := st.m.b[l]
+		vb := st.v.b[l]
+		for i := range b {
+			gi := gb[i]
+			mb[i] = beta1*mb[i] + (1-beta1)*gi
+			vb[i] = beta2*vb[i] + (1-beta2)*gi*gi
+			mHat := mb[i] / bc1
+			vHat := vb[i] / bc2
+			b[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+		}
+	}
+}

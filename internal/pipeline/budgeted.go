@@ -1,0 +1,46 @@
+package pipeline
+
+import (
+	"varbench/internal/data"
+	"varbench/internal/hpo"
+	"varbench/internal/nn"
+	"varbench/internal/xrand"
+)
+
+// BudgetedObjective builds an hpo.BudgetedObjective for a task and a fixed
+// replication, where budget counts training epochs. A Trainer is cached per
+// configuration, so successive-halving rungs *continue* training from the
+// previous rung's checkpointed state instead of restarting — the efficient
+// SHA implementation enabled by the resumable trainer. Every configuration
+// trains under the same ξO (cloned streams), mirroring HOpt's isolation.
+func BudgetedObjective(t Task, split data.TrainValidTest, streams *xrand.Streams) hpo.BudgetedObjective {
+	type entry struct {
+		trainer *nn.Trainer
+		epochs  int
+	}
+	cache := map[string]*entry{}
+	return func(p hpo.Params, budget int) float64 {
+		key := p.String()
+		e, ok := cache[key]
+		if !ok {
+			cfg, err := t.Build(p)
+			if err != nil {
+				return 1
+			}
+			cfg.Epochs = 1 << 30 // epochs governed by the rung budget
+			trainer, err := nn.NewTrainer(cfg, split.Train, streams.Clone())
+			if err != nil {
+				return 1
+			}
+			e = &entry{trainer: trainer}
+			cache[key] = e
+		}
+		for e.epochs < budget {
+			if err := e.trainer.Epoch(); err != nil {
+				return 1
+			}
+			e.epochs++
+		}
+		return 1 - t.Measure(e.trainer.Model(), split.Valid)
+	}
+}

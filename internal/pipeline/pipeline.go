@@ -1,0 +1,161 @@
+// Package pipeline implements the paper's formal model of a learning
+// pipeline (Section 2.1): the training procedure Opt(St, λ; ξO) of Equation
+// 1, the hyperparameter optimization HOpt(Stv; ξO, ξH) of Equation 2, and
+// the complete pipeline P(Stv) = Opt(Stv, HOpt(Stv)) of Equation 3, with all
+// sources of variation ξ = ξO ∪ ξH drawn from named xrand streams.
+package pipeline
+
+import (
+	"fmt"
+
+	"varbench/internal/data"
+	"varbench/internal/hpo"
+	"varbench/internal/nn"
+	"varbench/internal/xrand"
+)
+
+// Task defines one benchmark problem: how to draw a benchmark replication
+// from the finite dataset, how hyperparameters map to a training
+// configuration, and how performance is measured. Performance is always
+// "higher is better" (accuracy, mIoU, AUC); optimization objectives negate
+// it internally.
+type Task interface {
+	Name() string
+	// Split draws one (train, valid, test) replication using the stream r
+	// (the data-split source of variation).
+	Split(r *xrand.Source) (data.TrainValidTest, error)
+	// Space returns the hyperparameter search space (Tables 2/3/5/6).
+	Space() hpo.Space
+	// Defaults returns the pre-selected reasonable hyperparameters used for
+	// the variance study (Appendix D).
+	Defaults() hpo.Params
+	// Build maps hyperparameters to a concrete training configuration.
+	Build(p hpo.Params) (nn.TrainConfig, error)
+	// Measure evaluates a trained model on a dataset (higher is better).
+	Measure(m *nn.MLP, d *data.Dataset) float64
+}
+
+// Fit is Opt(St, λ; ξO): it trains a model on train with hyperparameters p,
+// drawing all stochastic elements from streams.
+func Fit(t Task, p hpo.Params, train *data.Dataset, streams *xrand.Streams) (*nn.MLP, error) {
+	cfg, err := t.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := nn.Train(cfg, train, streams)
+	if err != nil {
+		return nil, err
+	}
+	return res.Model, nil
+}
+
+// TrainEval is Opt followed by evaluation: it trains with hyperparameters p
+// under the ξO streams and returns performance on the eval set.
+func TrainEval(t Task, p hpo.Params, train, eval *data.Dataset, streams *xrand.Streams) (float64, error) {
+	model, err := Fit(t, p, train, streams)
+	if err != nil {
+		return 0, err
+	}
+	return t.Measure(model, eval), nil
+}
+
+// HOptResult is the outcome of one hyperparameter optimization.
+type HOptResult struct {
+	Best    hpo.Params
+	History hpo.History // trial values are validation errors (1 - performance)
+	// TestCurve holds the test performance of each trial's model, recorded
+	// for the optimization curves of Figure F.2. Entries align with History.
+	TestCurve []float64
+}
+
+// HOpt runs the hyperparameter optimization of Equation 2 on a fixed
+// replication: every trial trains on split.Train with the *same* ξO
+// (cloned streams) and is scored on split.Valid; the optimizer's own
+// randomness ξH comes from the VarHOpt stream. This isolation is exactly how
+// the paper measures HOpt variance (Section 2.2).
+func HOpt(t Task, opt hpo.Optimizer, budget int, split data.TrainValidTest,
+	streams *xrand.Streams) (HOptResult, error) {
+	var testCurve []float64
+	var trialErr error
+	objective := func(p hpo.Params) float64 {
+		trialStreams := streams.Clone() // same ξO for every trial
+		model, err := Fit(t, p, split.Train, trialStreams)
+		if err != nil {
+			trialErr = err
+			return 1
+		}
+		validPerf := t.Measure(model, split.Valid)
+		// Score the same model on test for the Figure F.2 curves.
+		testCurve = append(testCurve, t.Measure(model, split.Test))
+		return 1 - validPerf
+	}
+	hist, err := opt.Optimize(objective, t.Space(), budget, streams.Get(xrand.VarHOpt))
+	if err != nil {
+		return HOptResult{}, err
+	}
+	if trialErr != nil {
+		return HOptResult{}, trialErr
+	}
+	best, ok := hist.Best()
+	if !ok {
+		return HOptResult{}, fmt.Errorf("pipeline: empty HOpt history")
+	}
+	return HOptResult{Best: best.Params, History: hist, TestCurve: testCurve}, nil
+}
+
+// Result is the outcome of one complete pipeline execution.
+type Result struct {
+	Params    hpo.Params
+	ValidPerf float64
+	TestPerf  float64
+	HOpt      HOptResult
+}
+
+// Run executes the complete pipeline P of Equation 3: draw a replication
+// with the data-split stream, optimize hyperparameters, retrain on the full
+// Stv = train ∪ valid, and measure on the held-out test set.
+func Run(t Task, opt hpo.Optimizer, budget int, streams *xrand.Streams) (Result, error) {
+	split, err := t.Split(streams.Get(xrand.VarDataSplit))
+	if err != nil {
+		return Result{}, err
+	}
+	hres, err := HOpt(t, opt, budget, split, streams)
+	if err != nil {
+		return Result{}, err
+	}
+	stv, err := data.Concat(split.Train, split.Valid)
+	if err != nil {
+		return Result{}, err
+	}
+	finalStreams := streams.Clone()
+	cfg, err := t.Build(hres.Best)
+	if err != nil {
+		return Result{}, err
+	}
+	trained, err := nn.Train(cfg, stv, finalStreams)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Params:    hres.Best,
+		ValidPerf: t.Measure(trained.Model, split.Valid),
+		TestPerf:  t.Measure(trained.Model, split.Test),
+		HOpt:      hres,
+	}, nil
+}
+
+// RunWithParams executes the pipeline with fixed hyperparameters (no HOpt):
+// the inner loop of the biased estimator FixHOptEst (Algorithm 2). It draws
+// a fresh replication from the data-split stream, trains on Stv and
+// measures on the test set.
+func RunWithParams(t Task, p hpo.Params, streams *xrand.Streams) (float64, error) {
+	split, err := t.Split(streams.Get(xrand.VarDataSplit))
+	if err != nil {
+		return 0, err
+	}
+	stv, err := data.Concat(split.Train, split.Valid)
+	if err != nil {
+		return 0, err
+	}
+	return TrainEval(t, p, stv, split.Test, streams)
+}

@@ -1,0 +1,138 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"varbench/internal/casestudy"
+	"varbench/internal/hpo"
+	"varbench/internal/pipeline"
+	"varbench/internal/xrand"
+)
+
+func TestRunCompletePipeline(t *testing.T) {
+	task := casestudy.Tiny(1)
+	res, err := pipeline.Run(task, hpo.RandomSearch{}, 5, xrand.NewStreams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestPerf < 0.4 || res.TestPerf > 1 {
+		t.Errorf("test perf = %v", res.TestPerf)
+	}
+	if len(res.HOpt.History) != 5 {
+		t.Errorf("HOpt history length = %d, want 5", len(res.HOpt.History))
+	}
+	if len(res.HOpt.TestCurve) != 5 {
+		t.Errorf("test curve length = %d, want 5", len(res.HOpt.TestCurve))
+	}
+	if res.Params == nil {
+		t.Error("missing selected hyperparameters")
+	}
+	for _, d := range task.Space() {
+		if _, ok := res.Params[d.Name]; !ok {
+			t.Errorf("selected params missing %s", d.Name)
+		}
+	}
+}
+
+func TestRunDeterministicGivenStreams(t *testing.T) {
+	task := casestudy.Tiny(1)
+	a, err := pipeline.Run(task, hpo.RandomSearch{}, 4, xrand.NewStreams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pipeline.Run(task, hpo.RandomSearch{}, 4, xrand.NewStreams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TestPerf != b.TestPerf || a.ValidPerf != b.ValidPerf {
+		t.Errorf("pipeline not reproducible: %v vs %v", a.TestPerf, b.TestPerf)
+	}
+}
+
+func TestHOptSelectsBestValidTrial(t *testing.T) {
+	task := casestudy.Tiny(1)
+	streams := xrand.NewStreams(5)
+	split, err := task.Split(streams.Get(xrand.VarDataSplit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.HOpt(task, hpo.RandomSearch{}, 6, split, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := res.History.Best()
+	for _, tr := range res.History {
+		if tr.Value < best.Value {
+			t.Error("Best is not the minimum of the history")
+		}
+	}
+	for name, v := range best.Params {
+		if res.Best[name] != v {
+			t.Error("returned Best params mismatch history best")
+		}
+	}
+}
+
+func TestHOptReproducibleAndXiHIsolated(t *testing.T) {
+	task := casestudy.Tiny(1)
+	streams := xrand.NewStreams(7)
+	split, err := task.Split(streams.Get(xrand.VarDataSplit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pipeline.HOpt(task, hpo.RandomSearch{}, 4, split, streams.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pipeline.HOpt(task, hpo.RandomSearch{}, 4, split, streams.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.History {
+		if a.History[i].Value != b.History[i].Value {
+			t.Fatal("HOpt not reproducible under identical streams")
+		}
+	}
+	// Reseeding only ξH changes the search trajectory.
+	altStreams := streams.Clone()
+	altStreams.Reseed(xrand.VarHOpt, 12345)
+	c, err := pipeline.HOpt(task, hpo.RandomSearch{}, 4, split, altStreams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.History {
+		if a.History[i].Value != c.History[i].Value {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("reseeding ξH did not change the HOpt trajectory")
+	}
+}
+
+func TestRunWithParamsVariesWithDataSeed(t *testing.T) {
+	task := casestudy.Tiny(1)
+	p := task.Defaults()
+	a, err := pipeline.RunWithParams(task, p, xrand.NewStreams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := xrand.NewStreams(1)
+	s2.Reseed(xrand.VarDataSplit, 999)
+	b, err := pipeline.RunWithParams(task, p, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different data splits gave bit-identical performance (suspicious)")
+	}
+}
+
+func TestFitRespectsBuildErrors(t *testing.T) {
+	task := casestudy.Tiny(1)
+	if _, err := pipeline.Fit(task, hpo.Params{}, nil, xrand.NewStreams(1)); err == nil {
+		t.Error("empty params should propagate Build error")
+	}
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram renders a horizontal ASCII histogram of x with the given number
+// of bins — the terminal stand-in for the per-source density plots of
+// Figure G.3.
+func Histogram(w io.Writer, title string, x []float64, bins, width int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("report: no data to histogram")
+	}
+	if bins < 1 {
+		bins = 10
+	}
+	if width < 5 {
+		width = 40
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if math.IsNaN(v) {
+			return fmt.Errorf("report: NaN in histogram data")
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range x {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "-- %s (n=%d) --\n", title, len(x)); err != nil {
+			return err
+		}
+	}
+	for b, c := range counts {
+		left := lo + (hi-lo)*float64(b)/float64(bins)
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", c*width/max)
+		}
+		if _, err := fmt.Fprintf(w, "%10.4g |%-*s| %d\n", left, width, bar, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	x := []float64{1, 1, 1, 2, 2, 3}
+	var buf bytes.Buffer
+	if err := Histogram(&buf, "demo", x, 3, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo (n=6)") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 3 bins
+		t.Errorf("lines = %d: %q", len(lines), out)
+	}
+	// The modal bin has the longest bar.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Errorf("modal bin bar wrong: %q", lines[1])
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Histogram(&buf, "", nil, 3, 20); err == nil {
+		t.Error("empty data accepted")
+	}
+	if err := Histogram(&buf, "", []float64{math.NaN()}, 3, 20); err == nil {
+		t.Error("NaN accepted")
+	}
+	// Constant data must not divide by zero.
+	if err := Histogram(&buf, "", []float64{5, 5, 5}, 4, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate parameters fall back to defaults.
+	if err := Histogram(&buf, "", []float64{1, 2}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 1.0)
+	tb.AddRow("a-very-long-name", 0.123456)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a-very-long-name") {
+		t.Error("missing row")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("line count = %d: %q", len(lines), out)
+	}
+	// Separator matches header width.
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("separator missing: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow(1.0, "x,y") // comma must be quoted
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a,b") || !strings.Contains(out, `"x,y"`) {
+		t.Errorf("csv = %q", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:            "3",
+		-2:           "-2",
+		0.12345:      "0.1235",
+		math.NaN():   "NaN",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	s := []Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}
+	var buf bytes.Buffer
+	if err := LinePlot(&buf, "trend", s, 20, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trend") || !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Errorf("plot missing elements: %q", out)
+	}
+	// Both markers must appear.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("markers missing")
+	}
+}
+
+func TestLinePlotRejectsEmptyData(t *testing.T) {
+	var buf bytes.Buffer
+	err := LinePlot(&buf, "empty", []Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}, 20, 8)
+	if err == nil {
+		t.Error("all-NaN plot should error")
+	}
+}
+
+func TestLinePlotDegenerateRange(t *testing.T) {
+	// Constant series should not divide by zero.
+	var buf bytes.Buffer
+	err := LinePlot(&buf, "flat", []Series{{Name: "c", X: []float64{1, 1}, Y: []float64{2, 2}}}, 15, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

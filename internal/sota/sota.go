@@ -1,0 +1,158 @@
+// Package sota reproduces the Figure 3 analysis: published state-of-the-art
+// improvements compared against the benchmark variance σ measured in the
+// variance study. The embedded timelines are curated approximations of the
+// paperswithcode.com data the paper plots (accuracy in %, by year) — the
+// paper itself only uses them to show that typical year-over-year increments
+// are on the order of the benchmark's σ, which these curated values
+// preserve. It also fits the δ = coef·σ regression that Section 4.2 uses to
+// set the average-comparison threshold (the paper obtains coef = 1.9952).
+package sota
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"varbench/internal/stats"
+)
+
+// Entry is one published result.
+type Entry struct {
+	Year   int
+	Acc    float64 // accuracy in percent
+	Method string
+}
+
+// Timelines returns the embedded published-results history for a task
+// ("cifar10" or "sst2"), ordered by year.
+func Timelines(task string) ([]Entry, error) {
+	switch task {
+	case "cifar10":
+		return []Entry{
+			{2011, 80.5, "improved sparse coding"},
+			{2012, 84.9, "multi-column DNN"},
+			{2013, 90.7, "Maxout"},
+			{2013, 91.2, "Network in Network"},
+			{2014, 91.8, "Deeply-Supervised Nets"},
+			{2015, 93.6, "ResNet"},
+			{2016, 96.1, "Wide ResNet"},
+			{2016, 96.5, "DenseNet"},
+			{2017, 97.1, "Shake-Shake"},
+			{2018, 98.5, "AutoAugment"},
+			{2019, 99.0, "GPipe"},
+			{2020, 99.4, "BiT-L"},
+		}, nil
+	case "sst2":
+		return []Entry{
+			{2013, 85.4, "RNTN"},
+			{2014, 88.1, "CNN-multichannel"},
+			{2015, 88.8, "Tree-LSTM"},
+			{2016, 89.7, "byte-mLSTM (early)"},
+			{2017, 91.8, "bmLSTM"},
+			{2018, 94.9, "BERT-large"},
+			{2019, 96.8, "XLNet"},
+			{2019, 97.1, "ALBERT"},
+			{2020, 97.5, "T5-11B"},
+		}, nil
+	default:
+		return nil, fmt.Errorf("sota: unknown task %q (want cifar10 or sst2)", task)
+	}
+}
+
+// Verdict classifies one published increment against benchmark noise.
+type Verdict struct {
+	Entry
+	PrevBest    float64
+	Improvement float64 // over the running best, in accuracy points
+	IsSOTA      bool    // strictly improves the running best
+	Significant bool    // improvement exceeds the significance threshold
+}
+
+// Analysis is the Figure 3 output for one task.
+type Analysis struct {
+	Task string
+	// SigmaPct is the benchmark standard deviation in accuracy points (the
+	// red band of Figure 3).
+	SigmaPct float64
+	// ThresholdPct is the significance threshold on an improvement between
+	// two independently measured results: z_{1-α}·√2·σ (the yellow band).
+	ThresholdPct float64
+	Verdicts     []Verdict
+}
+
+// Analyze walks the timeline, marking each SOTA improvement significant or
+// not relative to the benchmark σ (both in accuracy points). alpha is the
+// one-sided false-positive level (the paper uses 0.05).
+func Analyze(task string, entries []Entry, sigmaPct, alpha float64) Analysis {
+	sorted := append([]Entry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Year < sorted[j].Year })
+	threshold := stats.NormQuantile(1-alpha) * math.Sqrt2 * sigmaPct
+	a := Analysis{Task: task, SigmaPct: sigmaPct, ThresholdPct: threshold}
+	best := math.Inf(-1)
+	for _, e := range sorted {
+		v := Verdict{Entry: e, PrevBest: best}
+		if e.Acc > best {
+			v.IsSOTA = true
+			if !math.IsInf(best, -1) {
+				v.Improvement = e.Acc - best
+				v.Significant = v.Improvement > threshold
+			} else {
+				v.Improvement = math.NaN() // first entry has no reference
+				v.Significant = true
+			}
+			best = e.Acc
+		}
+		a.Verdicts = append(a.Verdicts, v)
+	}
+	return a
+}
+
+// SignificantShare returns the fraction of SOTA improvements (first entry
+// excluded) that clear the significance threshold.
+func (a Analysis) SignificantShare() float64 {
+	sig, tot := 0, 0
+	for _, v := range a.Verdicts {
+		if !v.IsSOTA || math.IsNaN(v.Improvement) {
+			continue
+		}
+		tot++
+		if v.Significant {
+			sig++
+		}
+	}
+	if tot == 0 {
+		return math.NaN()
+	}
+	return float64(sig) / float64(tot)
+}
+
+// MeanImprovement returns the average SOTA increment (first entry excluded).
+func (a Analysis) MeanImprovement() float64 {
+	var sum float64
+	n := 0
+	for _, v := range a.Verdicts {
+		if v.IsSOTA && !math.IsNaN(v.Improvement) {
+			sum += v.Improvement
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// DeltaCoefficient regresses mean published improvements on benchmark σ
+// through the origin, yielding the coefficient c in δ = c·σ. The paper's
+// fit across its case studies gives 1.9952; ours depends on the synthetic
+// benchmarks' measured σ but serves the same role.
+func DeltaCoefficient(meanImprovements, sigmas []float64) (float64, error) {
+	if len(meanImprovements) != len(sigmas) || len(sigmas) == 0 {
+		return 0, fmt.Errorf("sota: need equal non-empty slices")
+	}
+	fit := stats.RegressionThroughOrigin(sigmas, meanImprovements)
+	if math.IsNaN(fit.Slope) {
+		return 0, fmt.Errorf("sota: degenerate regression")
+	}
+	return fit.Slope, nil
+}

@@ -1,0 +1,111 @@
+package sota
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimelinesKnownTasks(t *testing.T) {
+	for _, task := range []string{"cifar10", "sst2"} {
+		entries, err := Timelines(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) < 8 {
+			t.Errorf("%s timeline too short: %d", task, len(entries))
+		}
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Year < entries[i-1].Year {
+				t.Errorf("%s timeline not year-ordered", task)
+			}
+		}
+		for _, e := range entries {
+			if e.Acc <= 0 || e.Acc > 100 {
+				t.Errorf("%s accuracy out of range: %+v", task, e)
+			}
+		}
+	}
+	if _, err := Timelines("imagenet"); err == nil {
+		t.Error("unknown task should error")
+	}
+}
+
+func TestAnalyzeMarksSOTA(t *testing.T) {
+	entries := []Entry{
+		{2015, 90, "a"},
+		{2016, 91, "b"},
+		{2017, 90.5, "c"}, // not SOTA
+		{2018, 93, "d"},
+	}
+	a := Analyze("toy", entries, 0.5, 0.05)
+	if !a.Verdicts[0].IsSOTA || !a.Verdicts[1].IsSOTA || a.Verdicts[2].IsSOTA || !a.Verdicts[3].IsSOTA {
+		t.Fatalf("SOTA flags wrong: %+v", a.Verdicts)
+	}
+	// Threshold = 1.645·√2·0.5 ≈ 1.163: the 1-point improvement in 2016 is
+	// not significant; the 2.0-point improvement in 2018 is.
+	if a.Verdicts[1].Significant {
+		t.Error("1.0-point improvement should not be significant at σ=0.5")
+	}
+	if !a.Verdicts[3].Significant {
+		t.Error("2.0-point improvement should be significant at σ=0.5")
+	}
+	if math.Abs(a.ThresholdPct-1.645*math.Sqrt2*0.5) > 0.01 {
+		t.Errorf("threshold = %v", a.ThresholdPct)
+	}
+}
+
+func TestAnalyzeSharesAndMeans(t *testing.T) {
+	entries := []Entry{
+		{2015, 90, "a"},
+		{2016, 92, "b"},
+		{2017, 92.5, "c"},
+	}
+	a := Analyze("toy", entries, 0.3, 0.05)
+	// Improvements: 2.0 (significant), 0.5 (not: threshold ≈ 0.698).
+	if got := a.SignificantShare(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("significant share = %v, want 0.5", got)
+	}
+	if got := a.MeanImprovement(); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("mean improvement = %v, want 1.25", got)
+	}
+}
+
+func TestAnalyzeWithRealTimelines(t *testing.T) {
+	// With a CIFAR10-like σ of 0.3 accuracy points, a majority of the
+	// curated increments should be significant, but not all — the paper's
+	// point is exactly that several published SOTA steps sit inside the
+	// noise band.
+	entries, err := Timelines("cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze("cifar10", entries, 0.3, 0.05)
+	share := a.SignificantShare()
+	if math.IsNaN(share) || share <= 0.3 || share > 1 {
+		t.Errorf("cifar10 significant share = %v", share)
+	}
+	// With an RTE-like σ of 2 points, almost nothing would be significant.
+	noisy := Analyze("cifar10", entries, 2.0, 0.05)
+	if noisy.SignificantShare() >= share {
+		t.Error("larger σ must reduce the significant share")
+	}
+}
+
+func TestDeltaCoefficient(t *testing.T) {
+	// Perfect proportionality recovers the coefficient.
+	sigmas := []float64{0.5, 1, 2}
+	imps := []float64{1, 2, 4}
+	c, err := DeltaCoefficient(imps, sigmas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-2) > 1e-12 {
+		t.Errorf("coef = %v, want 2", c)
+	}
+	if _, err := DeltaCoefficient([]float64{1}, []float64{}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := DeltaCoefficient([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero sigmas should error (degenerate)")
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"varbench/internal/xrand"
+)
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+	Level  float64 // confidence level, e.g. 0.95
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// PercentileBootstrap computes a percentile-bootstrap confidence interval
+// (Efron) of statistic over x: K resamples with replacement, interval given
+// by the α/2 and 1-α/2 empirical quantiles of the resampled statistics.
+// The paper recommends it for quantifying the reliability of P(A>B)
+// estimates below 0.95 (Appendix C.5).
+func PercentileBootstrap(x []float64, statistic func([]float64) float64,
+	k int, level float64, r *xrand.Source) CI {
+	n := len(x)
+	vals := make([]float64, k)
+	buf := make([]float64, n)
+	for b := 0; b < k; b++ {
+		for i := range buf {
+			buf[i] = x[r.Intn(n)]
+		}
+		vals[b] = statistic(buf)
+	}
+	sort.Float64s(vals)
+	alpha := 1 - level
+	return CI{
+		Lo:    quantileSorted(vals, alpha/2),
+		Hi:    quantileSorted(vals, 1-alpha/2),
+		Level: level,
+	}
+}
+
+// Pair is one paired performance measurement of two algorithms on the same
+// seeds/splits (Appendix C.2).
+type Pair struct {
+	A, B float64
+}
+
+// PairedPercentileBootstrap bootstraps pairs jointly (resampling whole pairs
+// preserves the pairing) and returns the percentile CI of statistic.
+// This is exactly the procedure of Appendix C.5 for P(A>B).
+func PairedPercentileBootstrap(pairs []Pair, statistic func([]Pair) float64,
+	k int, level float64, r *xrand.Source) CI {
+	n := len(pairs)
+	vals := make([]float64, k)
+	buf := make([]Pair, n)
+	for b := 0; b < k; b++ {
+		for i := range buf {
+			buf[i] = pairs[r.Intn(n)]
+		}
+		vals[b] = statistic(buf)
+	}
+	sort.Float64s(vals)
+	alpha := 1 - level
+	return CI{
+		Lo:    quantileSorted(vals, alpha/2),
+		Hi:    quantileSorted(vals, 1-alpha/2),
+		Level: level,
+	}
+}
+
+// NormalCI returns the normal-approximation interval
+// estimate ± z_{1-α/2}·se, used as the ablation baseline against the
+// percentile bootstrap.
+func NormalCI(estimate, se float64, level float64) CI {
+	z := NormQuantile(1 - (1-level)/2)
+	return CI{Lo: estimate - z*se, Hi: estimate + z*se, Level: level}
+}
+
+// BootstrapStd estimates the standard deviation of statistic over x by
+// resampling (used to attach uncertainty to variance measurements).
+func BootstrapStd(x []float64, statistic func([]float64) float64,
+	k int, r *xrand.Source) float64 {
+	n := len(x)
+	vals := make([]float64, k)
+	buf := make([]float64, n)
+	for b := 0; b < k; b++ {
+		for i := range buf {
+			buf[i] = x[r.Intn(n)]
+		}
+		vals[b] = statistic(buf)
+	}
+	return Std(vals)
+}
+
+// NoetherSampleSize returns the minimal number of paired measurements needed
+// for the Mann-Whitney-based test of P(A>B) > 0.5 against the alternative
+// P(A>B) = gamma, with false-positive rate alpha and false-negative rate
+// beta (Noether 1987, used in Appendix C.3 / Figure C.1):
+//
+//	N ≥ ( (Φ⁻¹(1−α) − Φ⁻¹(β)) / (√6·(½−γ)) )².
+//
+// With the paper's recommended α = β = 0.05, γ = 0.75 this gives N = 29.
+func NoetherSampleSize(gamma, alpha, beta float64) int {
+	if gamma == 0.5 {
+		return math.MaxInt32
+	}
+	num := NormQuantile(1-alpha) - NormQuantile(beta)
+	den := math.Sqrt(6) * (0.5 - gamma)
+	n := (num / den) * (num / den)
+	return int(math.Ceil(n))
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"varbench/internal/xrand"
+)
+
+func TestPercentileBootstrapCoversMean(t *testing.T) {
+	// Coverage check: a 95% CI for the mean should contain the true mean
+	// in roughly 95% of repetitions.
+	r := xrand.New(1)
+	const reps = 200
+	hits := 0
+	for rep := 0; rep < reps; rep++ {
+		x := make([]float64, 40)
+		for i := range x {
+			x[i] = r.Normal(10, 2)
+		}
+		ci := PercentileBootstrap(x, Mean, 500, 0.95, r)
+		if ci.Contains(10) {
+			hits++
+		}
+	}
+	rate := float64(hits) / reps
+	if rate < 0.88 || rate > 0.995 {
+		t.Errorf("bootstrap CI coverage = %v, want ≈0.95", rate)
+	}
+}
+
+func TestPercentileBootstrapOrdering(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 5 + r.Intn(30)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		ci := PercentileBootstrap(x, Mean, 200, 0.9, r)
+		return ci.Lo <= ci.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairedPercentileBootstrapPAB(t *testing.T) {
+	// A dominates B: CI for P(A>B) should sit well above 0.5.
+	r := xrand.New(7)
+	pairs := make([]Pair, 50)
+	for i := range pairs {
+		base := r.NormFloat64()
+		pairs[i] = Pair{A: base + 1.5, B: base + 0.3*r.NormFloat64()}
+	}
+	stat := func(p []Pair) float64 {
+		a := make([]float64, len(p))
+		b := make([]float64, len(p))
+		for i, pr := range p {
+			a[i], b[i] = pr.A, pr.B
+		}
+		return PairedPAB(a, b)
+	}
+	ci := PairedPercentileBootstrap(pairs, stat, 1000, 0.95, r)
+	if ci.Lo <= 0.5 {
+		t.Errorf("CI.Lo = %v, want > 0.5 for dominated pairs", ci.Lo)
+	}
+	if ci.Hi > 1 || ci.Lo < 0 {
+		t.Errorf("CI out of [0,1]: %+v", ci)
+	}
+}
+
+func TestNormalCI(t *testing.T) {
+	ci := NormalCI(0.8, 0.05, 0.95)
+	want := 1.959963984540054 * 0.05
+	close(t, "NormalCI lo", ci.Lo, 0.8-want, 1e-9)
+	close(t, "NormalCI hi", ci.Hi, 0.8+want, 1e-9)
+}
+
+func TestBootstrapStdOfMean(t *testing.T) {
+	// The bootstrap std of the mean should approximate σ/√n.
+	r := xrand.New(11)
+	n := 100
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Normal(0, 3)
+	}
+	got := BootstrapStd(x, Mean, 2000, r)
+	want := 3 / math.Sqrt(float64(n))
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("bootstrap std of mean = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestNoetherSampleSizePaper(t *testing.T) {
+	// Appendix C.3: α=β=0.05, γ=0.75 ⇒ N = 29.
+	if n := NoetherSampleSize(0.75, 0.05, 0.05); n != 29 {
+		t.Errorf("Noether(0.75, .05, .05) = %d, want 29", n)
+	}
+	// Figure C.1: detecting below γ=0.6 is impractical (N > 100).
+	if n := NoetherSampleSize(0.6, 0.05, 0.05); n <= 100 {
+		t.Errorf("Noether(0.6) = %d, want > 100", n)
+	}
+	// γ=0.55 needs > 500 (the paper: "above 500 ... below 0.55").
+	if n := NoetherSampleSize(0.55, 0.05, 0.05); n <= 500 {
+		t.Errorf("Noether(0.55) = %d, want > 500", n)
+	}
+}
+
+func TestNoetherMonotone(t *testing.T) {
+	prev := math.MaxInt32
+	for g := 0.55; g < 1.0; g += 0.05 {
+		n := NoetherSampleSize(g, 0.05, 0.05)
+		if n > prev {
+			t.Fatalf("Noether N not decreasing in γ at %v", g)
+		}
+		prev = n
+	}
+	if NoetherSampleSize(0.5, 0.05, 0.05) != math.MaxInt32 {
+		t.Error("γ=0.5 should be undetectable")
+	}
+}
+
+func TestRegressionGolden(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1}
+	fit := LinearRegression(x, y)
+	close(t, "slope", fit.Slope, 2.01, 0.03)
+	close(t, "intercept", fit.Intercept, 0, 0.15)
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestRegressionThroughOrigin(t *testing.T) {
+	x := []float64{1, 2, 4}
+	y := []float64{2, 4, 8}
+	fit := RegressionThroughOrigin(x, y)
+	close(t, "slope", fit.Slope, 2, 1e-12)
+	close(t, "R2", fit.R2, 1, 1e-12)
+}
+
+func TestCorrections(t *testing.T) {
+	p := []float64{0.01, 0.04, 0.03, 0.005}
+	bonf := BonferroniCorrect(p)
+	if bonf[0] != 0.04 || bonf[3] != 0.02 {
+		t.Errorf("Bonferroni = %v", bonf)
+	}
+	holm := HolmCorrect(p)
+	// Holm: sorted p = .005, .01, .03, .04 → adj = .02, .03, .06, .06.
+	wantHolm := []float64{0.03, 0.06, 0.06, 0.02}
+	for i := range wantHolm {
+		close(t, "Holm", holm[i], wantHolm[i], 1e-12)
+	}
+	bh := BenjaminiHochberg(p)
+	// BH: sorted .005,.01,.03,.04 → raw adj .02,.02,.04,.04 (monotone).
+	wantBH := []float64{0.02, 0.04, 0.04, 0.02}
+	for i := range wantBH {
+		close(t, "BH", bh[i], wantBH[i], 1e-12)
+	}
+	// Corrections never reduce p-values.
+	for i := range p {
+		if bonf[i] < p[i] || holm[i] < p[i] || bh[i] < p[i] {
+			t.Error("correction decreased a p-value")
+		}
+	}
+}
+
+func TestGammaBonferroni(t *testing.T) {
+	g1 := GammaBonferroni(0.75, 0.05, 1)
+	if g1 != 0.75 {
+		t.Errorf("m=1 should not change γ: %v", g1)
+	}
+	g10 := GammaBonferroni(0.75, 0.05, 10)
+	if g10 <= 0.75 || g10 > 1 {
+		t.Errorf("m=10 γ = %v, want in (0.75, 1]", g10)
+	}
+	g100 := GammaBonferroni(0.75, 0.05, 100)
+	if g100 <= g10 {
+		t.Errorf("γ should grow with m: %v vs %v", g100, g10)
+	}
+}

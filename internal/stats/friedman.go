@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Friedman tests whether k algorithms have equal performance across n
+// datasets (Demšar 2006, the Section 6 recommendation for multi-algorithm
+// comparisons). scores[d][a] is the performance of algorithm a on dataset d
+// (higher is better). It returns the chi-squared statistic, its p-value, and
+// the average rank of each algorithm (rank 1 = best).
+type FriedmanResult struct {
+	ChiSq    float64
+	PValue   float64
+	AvgRanks []float64
+	K, N     int
+}
+
+// Friedman runs the test. Requires at least 2 algorithms and 2 datasets;
+// Demšar notes it is unreliable below ~10 datasets and 5 algorithms, which
+// callers should keep in mind (the paper's Section 6 discussion).
+func Friedman(scores [][]float64) (FriedmanResult, error) {
+	n := len(scores)
+	if n < 2 {
+		return FriedmanResult{}, fmt.Errorf("stats: Friedman needs ≥ 2 datasets")
+	}
+	k := len(scores[0])
+	if k < 2 {
+		return FriedmanResult{}, fmt.Errorf("stats: Friedman needs ≥ 2 algorithms")
+	}
+	avg := make([]float64, k)
+	for d, row := range scores {
+		if len(row) != k {
+			return FriedmanResult{}, fmt.Errorf("stats: dataset %d has %d scores, want %d", d, len(row), k)
+		}
+		// Rank within the dataset: higher score = better = lower rank
+		// number, with midranks for ties. Ranks() ranks ascending, so rank
+		// on negated scores.
+		neg := make([]float64, k)
+		for a, v := range row {
+			neg[a] = -v
+		}
+		ranks := Ranks(neg)
+		for a, r := range ranks {
+			avg[a] += r
+		}
+	}
+	for a := range avg {
+		avg[a] /= float64(n)
+	}
+	// χ²_F = 12n/(k(k+1)) · (Σ R_a² − k(k+1)²/4).
+	sumSq := 0.0
+	for _, r := range avg {
+		sumSq += r * r
+	}
+	chi := 12 * float64(n) / (float64(k) * float64(k+1)) *
+		(sumSq - float64(k)*float64(k+1)*float64(k+1)/4)
+	p := 1 - ChiSquared{K: float64(k - 1)}.CDF(chi)
+	return FriedmanResult{ChiSq: chi, PValue: p, AvgRanks: avg, K: k, N: n}, nil
+}
+
+// NemenyiCD returns the critical difference of average ranks for the
+// Nemenyi post-hoc test at significance alpha (0.05 or 0.10): two
+// algorithms differ when their average ranks differ by at least
+// q_α·sqrt(k(k+1)/(6n)). q values are the Studentized-range-based constants
+// tabulated by Demšar (2006) for k ≤ 10.
+func NemenyiCD(k, n int, alpha float64) (float64, error) {
+	if k < 2 || k > 10 {
+		return 0, fmt.Errorf("stats: Nemenyi table covers 2 ≤ k ≤ 10, got %d", k)
+	}
+	var q []float64
+	switch {
+	case math.Abs(alpha-0.05) < 1e-9:
+		q = []float64{0, 0, 1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164}
+	case math.Abs(alpha-0.10) < 1e-9:
+		q = []float64{0, 0, 1.645, 2.052, 2.291, 2.459, 2.589, 2.693, 2.780, 2.855, 2.920}
+	default:
+		return 0, fmt.Errorf("stats: Nemenyi table has alpha 0.05 and 0.10 only")
+	}
+	return q[k] * math.Sqrt(float64(k)*float64(k+1)/(6*float64(n))), nil
+}
+
+// NemenyiPairs lists the algorithm pairs whose average ranks differ by at
+// least the critical difference.
+func NemenyiPairs(res FriedmanResult, alpha float64) ([][2]int, error) {
+	cd, err := NemenyiCD(res.K, res.N, alpha)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]int
+	for a := 0; a < res.K; a++ {
+		for b := a + 1; b < res.K; b++ {
+			if math.Abs(res.AvgRanks[a]-res.AvgRanks[b]) >= cd {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out, nil
+}

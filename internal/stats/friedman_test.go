@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"varbench/internal/xrand"
+)
+
+func TestFriedmanDetectsConsistentWinner(t *testing.T) {
+	r := xrand.New(1)
+	const n, k = 12, 3
+	scores := make([][]float64, n)
+	for d := range scores {
+		base := r.NormFloat64()
+		scores[d] = []float64{
+			base + 1.0, // algorithm 0: consistently best
+			base + 0.2,
+			base,
+		}
+	}
+	res, err := Friedman(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.01 {
+		t.Errorf("Friedman missed consistent winner: p=%v", res.PValue)
+	}
+	// Algorithm 0 must have the best (lowest) average rank.
+	if res.AvgRanks[0] >= res.AvgRanks[1] || res.AvgRanks[0] >= res.AvgRanks[2] {
+		t.Errorf("ranks wrong: %v", res.AvgRanks)
+	}
+	// Average ranks sum to k(k+1)/2 per-dataset average = 6.
+	sum := 0.0
+	for _, v := range res.AvgRanks {
+		sum += v
+	}
+	if math.Abs(sum-6) > 1e-9 {
+		t.Errorf("rank sum = %v, want 6", sum)
+	}
+}
+
+func TestFriedmanNullCalibration(t *testing.T) {
+	r := xrand.New(2)
+	const trials = 300
+	rejects := 0
+	for trial := 0; trial < trials; trial++ {
+		scores := make([][]float64, 10)
+		for d := range scores {
+			scores[d] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		}
+		res, err := Friedman(scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PValue < 0.05 {
+			rejects++
+		}
+	}
+	rate := float64(rejects) / trials
+	if rate > 0.1 {
+		t.Errorf("Friedman null rejection rate = %v, want ≈0.05", rate)
+	}
+}
+
+func TestFriedmanValidation(t *testing.T) {
+	if _, err := Friedman(nil); err == nil {
+		t.Error("no datasets accepted")
+	}
+	if _, err := Friedman([][]float64{{1}, {2}}); err == nil {
+		t.Error("single algorithm accepted")
+	}
+	if _, err := Friedman([][]float64{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Error("ragged scores accepted")
+	}
+}
+
+func TestNemenyiCDGolden(t *testing.T) {
+	// Demšar's worked example scale: k=5, n=14 at α=0.05 → CD ≈ 1.63? No —
+	// CD = 2.728·sqrt(5·6/(6·14)) = 2.728·sqrt(30/84) ≈ 1.63.
+	cd, err := NemenyiCD(5, 14, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cd-2.728*math.Sqrt(30.0/84)) > 1e-9 {
+		t.Errorf("CD = %v", cd)
+	}
+	if _, err := NemenyiCD(11, 10, 0.05); err == nil {
+		t.Error("k=11 accepted")
+	}
+	if _, err := NemenyiCD(3, 10, 0.01); err == nil {
+		t.Error("untabulated alpha accepted")
+	}
+	// α=0.10 gives a smaller CD than α=0.05.
+	cd10, err := NemenyiCD(5, 14, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd10 >= cd {
+		t.Errorf("CD(0.10)=%v should be below CD(0.05)=%v", cd10, cd)
+	}
+}
+
+func TestNemenyiPairs(t *testing.T) {
+	r := xrand.New(3)
+	const n = 20
+	scores := make([][]float64, n)
+	for d := range scores {
+		// Algorithms 0 and 1 are statistically tied (their ranks swap at
+		// random across datasets); both clearly beat algorithm 2.
+		scores[d] = []float64{
+			2 + 0.3*r.NormFloat64(),
+			2 + 0.3*r.NormFloat64(),
+			0.1 * r.NormFloat64(),
+		}
+	}
+	res, err := Friedman(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := NemenyiPairs(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(a, b int) bool {
+		for _, p := range pairs {
+			if p == [2]int{a, b} {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 2) || !has(1, 2) {
+		t.Errorf("expected {0,2} and {1,2} significant, got %v (ranks %v)", pairs, res.AvgRanks)
+	}
+	if has(0, 1) {
+		t.Errorf("near-tied pair {0,1} flagged significant: %v", pairs)
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrShapiroSampleSize is returned for samples outside [3, 5000].
+var ErrShapiroSampleSize = errors.New("stats: Shapiro-Wilk requires 3 ≤ n ≤ 5000")
+
+// ShapiroWilk tests the null hypothesis that x was drawn from a normal
+// distribution, following Royston's 1995 algorithm (AS R94), the same
+// procedure scipy uses and the paper applies to its performance
+// distributions (Figure G.3). It returns the W statistic and an approximate
+// p-value (upper tail of the transformed statistic).
+func ShapiroWilk(x []float64) (w, pvalue float64, err error) {
+	n := len(x)
+	if n < 3 || n > 5000 {
+		return math.NaN(), math.NaN(), ErrShapiroSampleSize
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if s[0] == s[n-1] {
+		return math.NaN(), math.NaN(), errors.New("stats: Shapiro-Wilk on constant sample")
+	}
+
+	// Expected values of normal order statistics (Blom approximation).
+	m := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = NormQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+	}
+	mss := 0.0
+	for _, v := range m {
+		mss += v * v
+	}
+
+	// Weights. Royston's polynomial corrections for the two extreme weights.
+	a := make([]float64, n)
+	u := 1 / math.Sqrt(float64(n))
+	rsqrt := math.Sqrt(mss)
+	if n > 5 {
+		an := -2.706056*pow5(u) + 4.434685*pow4(u) - 2.071190*pow3(u) -
+			0.147981*u*u + 0.221157*u + m[n-1]/rsqrt
+		an1 := -3.582633*pow5(u) + 5.682633*pow4(u) - 1.752461*pow3(u) -
+			0.293762*u*u + 0.042981*u + m[n-2]/rsqrt
+		phi := (mss - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+			(1 - 2*an*an - 2*an1*an1)
+		a[n-1] = an
+		a[n-2] = an1
+		a[0] = -an
+		a[1] = -an1
+		sphi := math.Sqrt(phi)
+		for i := 2; i < n-2; i++ {
+			a[i] = m[i] / sphi
+		}
+	} else {
+		an := -2.706056*pow5(u) + 4.434685*pow4(u) - 2.071190*pow3(u) -
+			0.147981*u*u + 0.221157*u + m[n-1]/rsqrt
+		a[n-1] = an
+		a[0] = -an
+		if n == 3 {
+			a[0] = -math.Sqrt(0.5)
+			a[2] = math.Sqrt(0.5)
+			a[1] = 0
+		} else {
+			phi := (mss - 2*m[n-1]*m[n-1]) / (1 - 2*an*an)
+			sphi := math.Sqrt(phi)
+			for i := 1; i < n-1; i++ {
+				a[i] = m[i] / sphi
+			}
+		}
+	}
+
+	// W statistic.
+	mean := Mean(s)
+	num, den := 0.0, 0.0
+	for i, v := range s {
+		num += a[i] * v
+		d := v - mean
+		den += d * d
+	}
+	w = num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// P-value via Royston's normalizing transformations.
+	switch {
+	case n == 3:
+		const pi6 = 6 / math.Pi
+		const stqr = math.Pi / 3 // asin(sqrt(3/4))
+		p := pi6 * (math.Asin(math.Sqrt(w)) - stqr)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return w, p, nil
+	case n <= 11:
+		nf := float64(n)
+		gamma := -2.273 + 0.459*nf
+		lw := -math.Log(gamma - math.Log(1-w))
+		mu := 0.5440 - 0.39978*nf + 0.025054*nf*nf - 0.0006714*nf*nf*nf
+		sigma := math.Exp(1.3822 - 0.77857*nf + 0.062767*nf*nf - 0.0020322*nf*nf*nf)
+		z := (lw - mu) / sigma
+		return w, 1 - NormCDF(z), nil
+	default:
+		lw := math.Log(1 - w)
+		ln := math.Log(float64(n))
+		mu := -1.5861 - 0.31082*ln - 0.083751*ln*ln + 0.0038915*ln*ln*ln
+		sigma := math.Exp(-0.4803 - 0.082676*ln + 0.0030302*ln*ln)
+		z := (lw - mu) / sigma
+		return w, 1 - NormCDF(z), nil
+	}
+}
+
+func pow3(x float64) float64 { return x * x * x }
+func pow4(x float64) float64 { return x * x * x * x }
+func pow5(x float64) float64 { return x * x * x * x * x }

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"varbench/internal/xrand"
+)
+
+func TestShapiroWilkNormalSample(t *testing.T) {
+	r := xrand.New(17)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	w, p, err := ShapiroWilk(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 0.97 {
+		t.Errorf("W = %v for a normal sample, want > 0.97", w)
+	}
+	if p < 0.05 {
+		t.Errorf("p = %v for a normal sample, should not reject", p)
+	}
+}
+
+func TestShapiroWilkRejectsExponential(t *testing.T) {
+	r := xrand.New(19)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = -math.Log(1 - r.Float64()) // Exp(1)
+	}
+	w, p, err := ShapiroWilk(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.001 {
+		t.Errorf("p = %v for exponential sample, should strongly reject (W=%v)", p, w)
+	}
+}
+
+func TestShapiroWilkRejectsUniform(t *testing.T) {
+	r := xrand.New(23)
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	_, p, err := ShapiroWilk(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Errorf("p = %v for uniform n=500, should reject", p)
+	}
+}
+
+func TestShapiroWilkCalibration(t *testing.T) {
+	// Under H0 (normal data) the rejection rate at level 0.05 should be
+	// close to 5%. This validates the whole p-value transformation chain.
+	r := xrand.New(29)
+	const trials = 400
+	for _, n := range []int{10, 30, 80} {
+		rejects := 0
+		for trial := 0; trial < trials; trial++ {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = r.NormFloat64()
+			}
+			_, p, err := ShapiroWilk(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < 0.05 {
+				rejects++
+			}
+		}
+		rate := float64(rejects) / trials
+		if rate > 0.11 || rate < 0.005 {
+			t.Errorf("n=%d: rejection rate %v under H0, want ≈0.05", n, rate)
+		}
+	}
+}
+
+func TestShapiroWilkPowerGrowsWithN(t *testing.T) {
+	// For a fixed skewed alternative, p should (stochastically) fall with n.
+	r := xrand.New(31)
+	gen := func(n int) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			v := r.NormFloat64()
+			x[i] = v * v // chi-squared(1): very skewed
+		}
+		return x
+	}
+	_, pSmall, err := ShapiroWilk(gen(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pLarge, err := ShapiroWilk(gen(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pLarge > pSmall && pLarge > 1e-6 {
+		t.Errorf("power did not grow: p(12)=%v p(300)=%v", pSmall, pLarge)
+	}
+}
+
+func TestShapiroWilkSmallN(t *testing.T) {
+	// n = 3 uses the closed-form p.
+	w, p, err := ShapiroWilk([]float64{1, 2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 || w > 1 || p < 0 || p > 1 {
+		t.Errorf("n=3: w=%v p=%v out of range", w, p)
+	}
+	// Perfectly symmetric triple has W ≈ 1.
+	w, _, err = ShapiroWilk([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 0.99 {
+		t.Errorf("symmetric triple W=%v, want ≈1", w)
+	}
+	// n in 4..11 branch.
+	for n := 4; n <= 11; n++ {
+		r := xrand.New(uint64(n))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		w, p, err := ShapiroWilk(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w <= 0 || w > 1 || p < 0 || p > 1 {
+			t.Errorf("n=%d: w=%v p=%v out of range", n, w, p)
+		}
+	}
+}
+
+func TestShapiroWilkErrors(t *testing.T) {
+	if _, _, err := ShapiroWilk([]float64{1, 2}); err == nil {
+		t.Error("n=2 should error")
+	}
+	if _, _, err := ShapiroWilk(make([]float64, 5001)); err == nil {
+		t.Error("n=5001 should error")
+	}
+	if _, _, err := ShapiroWilk([]float64{3, 3, 3, 3}); err == nil {
+		t.Error("constant sample should error")
+	}
+}
+
+func TestShapiroWilkWNearOneForNormal(t *testing.T) {
+	// W approaches 1 from below for larger normal samples.
+	r := xrand.New(37)
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = r.Normal(5, 3)
+	}
+	w, _, err := ShapiroWilk(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 0.995 {
+		t.Errorf("W = %v for n=1000 normal, want > 0.995", w)
+	}
+}

@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Reducer selects how gradient and loss reductions are accumulated.
+//
+// The paper could not fully seed one of its pipelines and therefore measured
+// a residual "numerical noise" caused by non-deterministic accumulation order
+// on the GPU (Figure 1, Appendix A). ReduceNondeterministic reproduces that
+// mechanism faithfully in software: partial sums are folded in goroutine
+// *completion* order, so the floating-point rounding of the total varies from
+// run to run even with all seeds fixed.
+type Reducer int
+
+const (
+	// ReduceSequential accumulates left to right; bit-deterministic.
+	ReduceSequential Reducer = iota
+	// ReduceParallelDeterministic accumulates fixed-size chunks in parallel
+	// but folds the partial sums in chunk order; bit-deterministic.
+	ReduceParallelDeterministic
+	// ReduceNondeterministic folds partial sums in completion order;
+	// simulates GPU atomics / cudnn non-determinism.
+	ReduceNondeterministic
+)
+
+// minParallel is the slice length below which the parallel reducers fall back
+// to sequential accumulation; launching goroutines for tiny slices costs more
+// than it saves and adds no useful nondeterminism.
+const minParallel = 2048
+
+// Reduce sums x according to the reducer policy.
+func (r Reducer) Reduce(x []float64) float64 {
+	if len(x) < minParallel || r == ReduceSequential {
+		return Sum(x)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	chunk := (len(x) + workers - 1) / workers
+	switch r {
+	case ReduceParallelDeterministic:
+		partials := make([]float64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(x) {
+				hi = len(x)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				partials[w] = Sum(x[lo:hi])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		return Sum(partials)
+	case ReduceNondeterministic:
+		ch := make(chan float64, workers)
+		launched := 0
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(x) {
+				hi = len(x)
+			}
+			if lo >= hi {
+				continue
+			}
+			launched++
+			go func(lo, hi int) {
+				ch <- Sum(x[lo:hi])
+			}(lo, hi)
+		}
+		total := 0.0
+		for i := 0; i < launched; i++ {
+			total += <-ch // completion order: nondeterministic fold
+		}
+		return total
+	default:
+		return Sum(x)
+	}
+}

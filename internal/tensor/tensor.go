@@ -1,0 +1,271 @@
+// Package tensor implements the dense float64 linear algebra needed by the
+// benchmark substrates: matrices and vectors with the usual BLAS-like
+// operations, a Cholesky factorization for the Gaussian-process
+// hyperparameter optimizer, and (deliberately) a non-deterministic parallel
+// reduction that reproduces the floating-point "numerical noise" the paper
+// measures on GPU pipelines (Figure 1, Appendix A).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MatMul returns a×b. Panics on dimension mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul dims %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a×b without allocating. out must be a.Rows×b.Cols
+// and must not alias a or b.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: matmul-into dimension mismatch")
+	}
+	out.Zero()
+	// ikj loop order: the inner loop streams over contiguous rows of b and
+	// out, which is the cache-friendly order for row-major storage.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a×bᵀ without materializing the transpose.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: matmulT dimension mismatch")
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ×b without materializing the transpose.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: TmatMul dimension mismatch")
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m×v as a new vector.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic("tensor: mulvec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := range out {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// Add computes a += b element-wise.
+func (m *Matrix) Add(b *Matrix) {
+	checkSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub computes a -= b element-wise.
+func (m *Matrix) Sub(b *Matrix) {
+	checkSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled computes m += s·b (axpy).
+func (m *Matrix) AddScaled(s float64, b *Matrix) {
+	checkSameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Apply replaces every element x with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// MaxAbs returns the largest absolute element, 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns sqrt(Σ x²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func checkSameShape(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha·x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Sum returns Σ x with sequential left-to-right accumulation, the
+// deterministic reference reduction.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, NaN for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Scale multiplies every element of x by s in place.
+func Scale(s float64, x []float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}

@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"varbench/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range c.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("matmul = %v, want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := xrand.New(1)
+	a := NewMatrix(7, 7)
+	eye := NewMatrix(7, 7)
+	for i := 0; i < 7; i++ {
+		eye.Set(i, i, 1)
+		for j := 0; j < 7; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+	}
+	c := MatMul(a, eye)
+	for i := range c.Data {
+		if c.Data[i] != a.Data[i] {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestMatMulDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched matmul did not panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		rows, cols := 1+r.Intn(10), 1+r.Intn(10)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		tt := m.T().T()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulTAgreesWithExplicitTranspose(t *testing.T) {
+	r := xrand.New(3)
+	a := NewMatrix(4, 6)
+	b := NewMatrix(5, 6)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat64()
+	}
+	got := MatMulT(a, b)
+	want := MatMul(a, b.T())
+	for i := range got.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("MatMulT mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTMatMulAgreesWithExplicitTranspose(t *testing.T) {
+	r := xrand.New(4)
+	a := NewMatrix(6, 4)
+	b := NewMatrix(6, 5)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat64()
+	}
+	got := TMatMul(a, b)
+	want := MatMul(a.T(), b)
+	for i := range got.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("TMatMul mismatch at %d", i)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := m.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{1, 1}, {1, 1}})
+	a.Add(b)
+	if a.At(0, 0) != 2 || a.At(1, 1) != 5 {
+		t.Fatal("Add wrong")
+	}
+	a.Sub(b)
+	if a.At(0, 0) != 1 || a.At(1, 1) != 4 {
+		t.Fatal("Sub wrong")
+	}
+	a.Scale(2)
+	if a.At(1, 0) != 6 {
+		t.Fatal("Scale wrong")
+	}
+	a.AddScaled(0.5, b)
+	if a.At(0, 1) != 4.5 {
+		t.Fatal("AddScaled wrong")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(12)
+		// Build SPD matrix A = B·Bᵀ + n·I.
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		a := MatMulT(b, b)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		// L·Lᵀ should reproduce A.
+		llt := MatMulT(l, l)
+		for i := range a.Data {
+			if !almostEqual(llt.Data[i], a.Data[i], 1e-8*(1+math.Abs(a.Data[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := CholeskySolve(l, []float64{8, 7})
+	// Verify A·x = b.
+	b := a.MulVec(x)
+	if !almostEqual(b[0], 8, 1e-10) || !almostEqual(b[1], 7, 1e-10) {
+		t.Fatalf("CholeskySolve: A·x = %v, want [8 7]", b)
+	}
+}
+
+func TestLogDetFromCholesky(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 8}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(16)
+	if got := LogDetFromCholesky(l); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("logdet = %v, want %v", got, want)
+	}
+}
+
+func TestDotAxpy(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatal("Axpy wrong")
+	}
+}
+
+func TestReducersAgreeInValue(t *testing.T) {
+	r := xrand.New(5)
+	x := make([]float64, 10000)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	seq := ReduceSequential.Reduce(x)
+	par := ReduceParallelDeterministic.Reduce(x)
+	nd := ReduceNondeterministic.Reduce(x)
+	if !almostEqual(seq, par, 1e-9) || !almostEqual(seq, nd, 1e-9) {
+		t.Fatalf("reducers disagree: %v %v %v", seq, par, nd)
+	}
+}
+
+func TestParallelDeterministicIsBitStable(t *testing.T) {
+	r := xrand.New(6)
+	x := make([]float64, 50000)
+	for i := range x {
+		x[i] = r.NormFloat64() * 1e3
+	}
+	first := ReduceParallelDeterministic.Reduce(x)
+	for i := 0; i < 20; i++ {
+		if got := ReduceParallelDeterministic.Reduce(x); got != first {
+			t.Fatalf("deterministic parallel reduce changed: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestSmallSlicesUseSequentialPath(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if ReduceNondeterministic.Reduce(x) != 6 {
+		t.Fatal("small-slice reduce wrong")
+	}
+}
+
+func TestMeanAndMaxAbs(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean of empty should be NaN")
+	}
+	m := FromRows([][]float64{{-5, 2}, {3, 4}})
+	if m.MaxAbs() != 5 {
+		t.Fatal("MaxAbs wrong")
+	}
+	if m.FrobeniusNorm() != math.Sqrt(25+4+9+16) {
+		t.Fatal("FrobeniusNorm wrong")
+	}
+}

@@ -1,0 +1,159 @@
+package xrand
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamsIndependentSources(t *testing.T) {
+	s := NewStreams(1)
+	init := s.Get(VarInit)
+	order := s.Get(VarOrder)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if init.Uint64() == order.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct sources collided %d times", same)
+	}
+}
+
+func TestStreamsReseedVariesOneSource(t *testing.T) {
+	// Vary VarInit only; every other source must produce identical output.
+	a := NewStreams(7)
+	b := NewStreams(7)
+	b.Reseed(VarInit, 12345)
+
+	for _, v := range AllVars() {
+		x := a.Get(v).Uint64()
+		y := b.Get(v).Uint64()
+		if v == VarInit {
+			if x == y {
+				t.Errorf("reseeded source %s did not change", v)
+			}
+		} else if x != y {
+			t.Errorf("untouched source %s changed after reseeding %s", v, VarInit)
+		}
+	}
+}
+
+func TestStreamsCloneRestartsStreams(t *testing.T) {
+	s := NewStreams(3)
+	first := s.Get(VarDropout).Uint64()
+	s.Get(VarDropout).Uint64() // consume more
+	c := s.Clone()
+	if got := c.Get(VarDropout).Uint64(); got != first {
+		t.Fatalf("clone did not restart stream: got %d want %d", got, first)
+	}
+}
+
+func TestStreamsGetIsStateful(t *testing.T) {
+	s := NewStreams(3)
+	a := s.Get(VarInit).Uint64()
+	b := s.Get(VarInit).Uint64()
+	if a == b {
+		t.Fatal("repeated Get returned a restarted stream")
+	}
+}
+
+func TestStreamsCustomLabel(t *testing.T) {
+	s := NewStreams(5)
+	v := Var("my-custom-noise")
+	a := s.Get(v).Uint64()
+	s2 := NewStreams(99) // different root: custom labels hash independently of root
+	b := s2.Get(v).Uint64()
+	if a != b {
+		t.Fatal("custom label stream not deterministic across stream sets")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	f := func(root uint64, consume uint8) bool {
+		s := NewStreams(root)
+		for i := 0; i < int(consume); i++ {
+			s.Get(VarInit).NormFloat64()
+			s.Get(VarOrder).Uint64()
+		}
+		ckpt := s.Checkpoint()
+		restored, err := RestoreCheckpoint(ckpt)
+		if err != nil {
+			return false
+		}
+		for _, v := range AllVars() {
+			for i := 0; i < 10; i++ {
+				if s.Get(v).Uint64() != restored.Get(v).Uint64() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckpointStable(t *testing.T) {
+	s := NewStreams(11)
+	s.Get(VarInit).Uint64()
+	a := s.Checkpoint()
+	b := s.Checkpoint()
+	if !bytes.Equal(a, b) {
+		t.Fatal("checkpoint is not deterministic")
+	}
+}
+
+func TestRestoreCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := RestoreCheckpoint([]byte{1, 2}); err == nil {
+		t.Fatal("accepted truncated checkpoint")
+	}
+	// A length prefix promising entries that are not there.
+	if _, err := RestoreCheckpoint([]byte{5, 0, 0, 0, 1}); err == nil {
+		t.Fatal("accepted checkpoint with missing entries")
+	}
+}
+
+func TestLearningVarsSubsetOfAllVars(t *testing.T) {
+	all := make(map[Var]bool)
+	for _, v := range AllVars() {
+		all[v] = true
+	}
+	for _, v := range LearningVars() {
+		if !all[v] {
+			t.Errorf("learning var %s missing from AllVars", v)
+		}
+	}
+	if len(AllVars()) != len(LearningVars())+2 {
+		t.Errorf("AllVars should add exactly the two ξH sources")
+	}
+}
+
+func TestResumeMidSequence(t *testing.T) {
+	// The Appendix A protocol: interrupt, restore, and demand the exact
+	// continuation of every stream.
+	s := NewStreams(21)
+	var reference []uint64
+	for i := 0; i < 5; i++ {
+		reference = append(reference, s.Get(VarAugment).Uint64())
+	}
+
+	s2 := NewStreams(21)
+	for i := 0; i < 2; i++ {
+		if got := s2.Get(VarAugment).Uint64(); got != reference[i] {
+			t.Fatalf("prefix diverged at %d", i)
+		}
+	}
+	ckpt := s2.Checkpoint()
+	s3, err := RestoreCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 5; i++ {
+		if got := s3.Get(VarAugment).Uint64(); got != reference[i] {
+			t.Fatalf("resumed stream diverged at %d", i)
+		}
+	}
+}
