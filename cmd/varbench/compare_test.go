@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"varbench"
+	"varbench/internal/xrand"
+)
+
+// writeScores writes one CSV score file; dataset "" emits single-column
+// rows.
+func writeScores(t *testing.T, name, dataset string, scores []float64) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, v := range scores {
+		if dataset == "" {
+			fmt.Fprintf(&buf, "%g\n", v)
+		} else {
+			fmt.Fprintf(&buf, "%s,%g\n", dataset, v)
+		}
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func pairedScores(seed uint64, n int, diff float64) (a, b []float64) {
+	r := xrand.New(seed)
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		base := r.NormFloat64()
+		a[i] = base + diff
+		b[i] = base + 0.2*r.NormFloat64()
+	}
+	return a, b
+}
+
+func TestCompareSubcommandText(t *testing.T) {
+	a, b := pairedScores(1, 40, 2)
+	fa := writeScores(t, "a.csv", "", a)
+	fb := writeScores(t, "b.csv", "", b)
+	var buf bytes.Buffer
+	if err := run([]string{"compare", "-a", fa, "-b", fb}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "significant and meaningful") {
+		t.Errorf("dominant pair not detected:\n%s", out)
+	}
+	if !strings.Contains(out, "P(A>B)") {
+		t.Errorf("missing P(A>B) line:\n%s", out)
+	}
+}
+
+func TestCompareSubcommandJSON(t *testing.T) {
+	a, b := pairedScores(2, 30, 2)
+	fa := writeScores(t, "a.csv", "", a)
+	fb := writeScores(t, "b.csv", "", b)
+	var buf bytes.Buffer
+	if err := run([]string{"compare", "-a", fa, "-b", fb, "-format", "json", "-gamma", "0.6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var res varbench.Result
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if res.Comparison.Gamma != 0.6 {
+		t.Errorf("γ flag ignored: %v", res.Comparison.Gamma)
+	}
+	if res.Comparison.Conclusion != varbench.SignificantAndMeaningful {
+		t.Errorf("conclusion = %s", res.Comparison.Conclusion)
+	}
+}
+
+func TestCompareSubcommandMultiDataset(t *testing.T) {
+	var bufA, bufB bytes.Buffer
+	for _, ds := range []string{"mnist", "sst2", "rte"} {
+		a, b := pairedScores(uint64(len(ds)), 25, 1.5)
+		for i := range a {
+			fmt.Fprintf(&bufA, "%s,%g\n", ds, a[i])
+			fmt.Fprintf(&bufB, "%s,%g\n", ds, b[i])
+		}
+	}
+	dir := t.TempDir()
+	fa := filepath.Join(dir, "a.csv")
+	fb := filepath.Join(dir, "b.csv")
+	if err := os.WriteFile(fa, bufA.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fb, bufB.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"compare", "-a", fa, "-b", fb, "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, ds := range []string{"mnist", "sst2", "rte"} {
+		if !strings.Contains(got, ds) {
+			t.Errorf("dataset %s missing from CSV output:\n%s", ds, got)
+		}
+	}
+}
+
+func TestCompareSubcommandHeaderAndUnpaired(t *testing.T) {
+	dir := t.TempDir()
+	fa := filepath.Join(dir, "a.csv")
+	fb := filepath.Join(dir, "b.csv")
+	if err := os.WriteFile(fa, []byte("score\n5\n6\n7\n8\n9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fb, []byte("score\n1\n2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// Unequal lengths require -unpaired.
+	if err := run([]string{"compare", "-a", fa, "-b", fb}, &buf); err == nil {
+		t.Error("unequal paired lengths accepted")
+	}
+	buf.Reset()
+	if err := run([]string{"compare", "-a", fa, "-b", fb, "-unpaired"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSubcommandSingleDatasetNameMismatch(t *testing.T) {
+	// Two files each carrying one *differently named* dataset must not be
+	// silently paired.
+	a, b := pairedScores(4, 10, 1)
+	fa := writeScores(t, "a.csv", "mnist", a)
+	fb := writeScores(t, "b.csv", "cifar", b)
+	var buf bytes.Buffer
+	if err := run([]string{"compare", "-a", fa, "-b", fb}, &buf); err == nil {
+		t.Error("mismatched single dataset names accepted")
+	}
+	// Same name is fine.
+	fb2 := writeScores(t, "b2.csv", "mnist", b)
+	if err := run([]string{"compare", "-a", fa, "-b", fb2}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSubcommandErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"compare"}, &buf); err == nil {
+		t.Error("missing score files accepted")
+	}
+	if err := run([]string{"compare", "-a", "nope.csv", "-b", "nope.csv"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	a, b := pairedScores(3, 10, 1)
+	fa := writeScores(t, "a.csv", "", a)
+	fb := writeScores(t, "b.csv", "", b)
+	if err := run([]string{"compare", "-a", fa, "-b", fb, "-format", "yaml"}, &buf); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"compare", "-a", fa, "-b", fb, "-gamma", "0.3"}, &buf); err == nil {
+		t.Error("invalid γ accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("1\nnot-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", "-a", bad, "-b", fb}, &buf); err == nil {
+		t.Error("malformed score accepted")
+	}
+	// A malformed *first* score (contains digits) is corruption, not a
+	// header, and must not be silently skipped.
+	typo := filepath.Join(t.TempDir(), "typo.csv")
+	if err := os.WriteFile(typo, []byte("O.85\n0.9\n0.91\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", "-a", typo, "-b", fb, "-unpaired"}, &buf); err == nil {
+		t.Error("typo'd first score silently dropped as a header")
+	}
+}

@@ -1,20 +1,28 @@
 // Command varbench regenerates the tables and figures of "Accounting for
 // Variance in Machine Learning Benchmarks" (MLSys 2021) on the synthetic
-// case studies of this repository.
+// case studies of this repository, and applies the paper's recommended
+// statistical protocol to externally collected score files.
 //
 // Usage:
 //
 //	varbench <experiment> [flags]
+//	varbench compare -a scoresA.csv -b scoresB.csv [flags]
 //
 // Experiments: fig1 fig2 fig3 fig5 figH5 fig6 figC1 figF2 figG3 figI6
-// table8 spaces env all
+// table8 appendixC spaces env all (figH4 is accepted as an alias of fig5,
+// which renders the same decomposition).
 //
-// Flags:
+// Experiment flags:
 //
 //	-quick        reduced budget (minutes instead of hours)
 //	-tasks list   comma-separated case-study names (default: all five)
 //	-seed n       base seed for all experiments (default 1)
-//	-csv          also emit raw tables as CSV to stdout where applicable
+//
+// The compare subcommand reads CSV score files — one score per line, or
+// dataset,score rows for a multi-dataset comparison — and emits the
+// three-zone conclusion (not significant / significant but not meaningful /
+// significant and meaningful) as text, JSON or CSV; see
+// `varbench compare -h` for its flags.
 package main
 
 import (
@@ -34,19 +42,27 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "varbench:", err)
+		// Library errors already carry the package prefix; avoid printing
+		// "varbench: varbench: ...".
+		fmt.Fprintln(os.Stderr, "varbench:", strings.TrimPrefix(err.Error(), "varbench: "))
 		os.Exit(1)
 	}
 }
 
 func run(args []string, w io.Writer) error {
+	// The compare subcommand has its own flag set and no timing footer.
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], w)
+	}
+
 	fs := flag.NewFlagSet("varbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced experiment budget")
 	tasks := fs.String("tasks", "", "comma-separated case studies (default all)")
 	seed := fs.Uint64("seed", 1, "base seed")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench <experiment> [flags]")
-		fmt.Fprintln(fs.Output(), "experiments: fig1 fig2 fig3 fig5 figH5 fig6 figC1 figF2 figG3 figI6 table8 appendixC spaces env all")
+		fmt.Fprintln(fs.Output(), "       varbench compare -a scoresA.csv -b scoresB.csv [flags]")
+		fmt.Fprintln(fs.Output(), "experiments: fig1 fig2 fig3 fig5 (alias figH4) figH5 fig6 figC1 figF2 figG3 figI6 table8 appendixC spaces env all")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {

@@ -1,0 +1,113 @@
+package varbench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// The collection engine: a bounded worker pool executing trials whose seeds
+// were fixed ahead of time, writing each score to its trial's slot. Workers
+// never share mutable state beyond disjoint slice elements, so the output
+// is identical at any parallelism. Cancellation is observed between runs; a
+// run already started is allowed to finish.
+
+// collectPairs measures one batch of paired trials: trial i feeds both
+// pipelines, outA[i] and outB[i] receive the scores. label names the
+// dataset in errors ("" for single-dataset experiments).
+func collectPairs(ctx context.Context, label string, runA, runB TrialFunc, trials []Trial, outA, outB []float64, workers int) error {
+	return collectWith(ctx, trials, workers, func(i int) error {
+		t := trials[i]
+		a, err := runA(t)
+		if err != nil {
+			return fmt.Errorf("varbench: %salgorithm A run %d: %w", label, t.Index, err)
+		}
+		b, err := runB(t)
+		if err != nil {
+			return fmt.Errorf("varbench: %salgorithm B run %d: %w", label, t.Index, err)
+		}
+		outA[i], outB[i] = a, b
+		return nil
+	})
+}
+
+// collectRuns measures a single pipeline once per trial.
+func collectRuns(ctx context.Context, run TrialFunc, trials []Trial, out []float64, workers int) error {
+	return collectWith(ctx, trials, workers, func(i int) error {
+		t := trials[i]
+		v, err := run(t)
+		if err != nil {
+			return fmt.Errorf("varbench: run %d: %w", t.Index, err)
+		}
+		out[i] = v
+		return nil
+	})
+}
+
+// collectWith executes do(i) for every trial index across a worker pool,
+// stopping at the first error or context cancellation.
+func collectWith(ctx context.Context, trials []Trial, workers int, do func(i int) error) error {
+	if len(trials) == 0 {
+		return nil
+	}
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	if workers <= 1 {
+		for i := range trials {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("varbench: collection canceled: %w", err)
+			}
+			if err := do(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := do(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := range trials {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("varbench: collection canceled: %w", err)
+	}
+	return nil
+}

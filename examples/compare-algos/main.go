@@ -1,20 +1,24 @@
 // Compare-algos: a realistic model comparison under a limited compute
 // budget, following Section 3.3: hyperparameters are optimized *once* per
-// algorithm (the biased estimator), then k measurements re-randomize every
+// algorithm (the biased estimator), then the Experiment re-randomizes every
 // other source of variation (FixHOptEst(k, All)) — the protocol the paper
 // shows is ~51x cheaper than the ideal estimator yet nearly as reliable,
-// provided the final decision accounts for variance.
+// provided the final decision accounts for variance. Measurement collection
+// runs across a worker pool and stops as soon as the evidence is
+// conclusive.
 //
 // The two contenders are MHC binding predictors with different capacities:
 // a 32-unit hidden layer versus an 8-unit one.
 //
-// Run: go run ./examples/compare-algos [-k pairs]
+// Run: go run ./examples/compare-algos [-k pairs] [-p workers]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"varbench"
 	"varbench/internal/casestudy"
@@ -25,8 +29,9 @@ import (
 )
 
 func main() {
-	k := flag.Int("k", 29, "paired measurements per algorithm")
+	k := flag.Int("k", 29, "max paired measurements per algorithm")
 	budget := flag.Int("budget", 12, "HPO trial budget per algorithm")
+	workers := flag.Int("p", 0, "collection parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	task, err := casestudy.ByName("mhc-mlp", 20210301)
@@ -72,8 +77,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// FixHOptEst(k, All): k measurements with every ξO source fresh, the
-	// tuned hyperparameters fixed. Pairing via shared seeds.
+	// FixHOptEst(k, All): measurements with every ξO source fresh, the
+	// tuned hyperparameters fixed. Pairing via shared trial seeds.
 	measure := func(p hpo.Params) varbench.RunFunc {
 		return func(seed uint64) (float64, error) {
 			streams := xrand.NewStreams(seed)
@@ -89,17 +94,26 @@ func main() {
 		}
 	}
 
-	fmt.Printf("\ncollecting %d paired FixHOptEst(All) measurements...\n", *k)
-	a, b, err := varbench.CollectPaired(measure(paramsBig), measure(paramsSmall), *k, 33)
+	fmt.Printf("\ncollecting up to %d paired FixHOptEst(All) measurements...\n", *k)
+	exp := varbench.Experiment{
+		Name:        "wide vs narrow MLP on MHC binding",
+		A:           measure(paramsBig),
+		B:           measure(paramsSmall),
+		Seed:        33,
+		MaxRuns:     *k,
+		Parallelism: *workers,
+	}
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wide:   %+v\n", varbench.Summarize(a))
-	fmt.Printf("narrow: %+v\n", varbench.Summarize(b))
-
-	res, err := varbench.Compare(a, b)
-	if err != nil {
+	d := res.Datasets[0]
+	fmt.Printf("wide:   %+v\n", varbench.Summarize(d.ScoresA))
+	fmt.Printf("narrow: %+v\n\n", varbench.Summarize(d.ScoresB))
+	if err := res.Render(os.Stdout, varbench.TextRenderer{}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(res)
+	if res.EarlyStopped {
+		fmt.Printf("early stop (%s) saved %d paired runs\n", res.StopReason, *k-res.Pairs)
+	}
 }

@@ -1,19 +1,22 @@
 // Multi-dataset: accumulate evidence that one algorithm beats another
-// across several benchmarks (Section 6 of the paper). Each dataset gets the
-// recommended P(A>B) test at a Bonferroni-adjusted meaningfulness threshold;
-// the verdict requires a meaningful win on every dataset (Dror et al. 2017),
-// and Demšar's Wilcoxon over per-dataset means is reported alongside.
+// across several benchmarks (Section 6 of the paper) with one declarative
+// Experiment. Each dataset gets the recommended P(A>B) test at a
+// Bonferroni-adjusted meaningfulness threshold; the verdict requires a
+// meaningful win on every dataset (Dror et al. 2017), and Demšar's Wilcoxon
+// over per-dataset means is reported alongside.
 //
 // The contenders here are "train with data augmentation" (A) versus
 // "no augmentation" (B) on three classification case studies.
 //
-// Run: go run ./examples/multi-dataset [-k pairs]
+// Run: go run ./examples/multi-dataset [-k pairs] [-p workers]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"varbench"
 	"varbench/internal/augment"
@@ -23,11 +26,12 @@ import (
 )
 
 func main() {
-	k := flag.Int("k", 12, "paired measurements per algorithm per dataset")
+	k := flag.Int("k", 12, "max paired measurements per algorithm per dataset")
+	workers := flag.Int("p", 0, "collection parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	taskNames := []string{"cifar10-vgg11", "sst2-bert", "rte-bert"}
-	var datasets []varbench.DatasetScores
+	var datasets []varbench.Dataset
 
 	for _, name := range taskNames {
 		task, err := casestudy.ByName(name, 20210301)
@@ -61,24 +65,27 @@ func main() {
 				return task.Measure(res.Model, split.Test), nil
 			}
 		}
-		fmt.Printf("%s: collecting %d paired runs...\n", name, *k)
-		a, b, err := varbench.CollectPaired(run(true), run(false), *k, 77)
-		if err != nil {
-			log.Fatal(err)
-		}
-		datasets = append(datasets, varbench.DatasetScores{Name: name, ScoresA: a, ScoresB: b})
+		datasets = append(datasets, varbench.Dataset{Name: name, A: run(true), B: run(false)})
 	}
 
-	res, err := varbench.CompareAcrossDatasets(datasets)
+	exp := varbench.Experiment{
+		Name:        "augmentation vs none",
+		Datasets:    datasets,
+		Seed:        77,
+		MaxRuns:     *k,
+		Parallelism: *workers,
+		Progress: func(p varbench.Progress) {
+			fmt.Printf("%s: %d/%d pairs\n", p.Dataset, p.Pairs, p.MaxRuns)
+		},
+	}
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	for i, c := range res.PerDataset {
-		fmt.Printf("%-15s %s\n", res.Names[i], c)
+	if err := res.Render(os.Stdout, varbench.TextRenderer{}); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\nall-datasets meaningful win (Dror-style): %v\n", res.AllMeaningful)
-	fmt.Printf("Demšar Wilcoxon over per-dataset means: p = %.3f\n", res.WilcoxonP)
 	fmt.Println("\nNote the adjusted γ per dataset: with 3 simultaneous comparisons the")
 	fmt.Println("meaningfulness bar rises, exactly as Section 6 recommends.")
 }

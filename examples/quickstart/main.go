@@ -1,20 +1,25 @@
-// Quickstart: the paper's recommended benchmarking protocol in ~40 lines.
+// Quickstart: the paper's recommended benchmarking protocol in ~30 lines.
 //
 // Two "algorithms" (the same small image-classification pipeline with two
-// different learning rates) are compared the right way:
+// different learning rates) are compared the right way, with a single
+// declarative varbench.Experiment:
 //
-//  1. ask for the sample size the test needs (Noether: 29 pairs at γ=0.75),
-//  2. run both pipelines under shared, fresh seeds — every run randomizes
-//     the data split, initialization, data order, dropout and augmentation,
-//  3. conclude with the probability of outperforming P(A>B) and its
-//     bootstrap confidence interval, not with a bare average difference.
+//  1. every run randomizes the data split, initialization, data order,
+//     dropout and augmentation, pairing the two algorithms on shared seeds;
+//  2. collection fans out across a worker pool and stops early once the
+//     bootstrap CI clears γ or Noether's recommended sample size (29 pairs
+//     at γ=0.75) is reached;
+//  3. the conclusion is the probability of outperforming P(A>B) with its
+//     bootstrap confidence interval, not a bare average difference.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"varbench"
 	"varbench/internal/casestudy"
@@ -38,23 +43,27 @@ func main() {
 	algoB := task.Defaults()
 	algoB["lr"] = 0.004 // deliberately too small: slower convergence
 
-	n := varbench.SampleSize(varbench.DefaultGamma)
-	fmt.Printf("collecting %d paired measurements per algorithm...\n", n)
-
-	scoresA, scoresB, err := varbench.CollectPaired(runner(algoA), runner(algoB), n, 2021)
+	exp := varbench.Experiment{
+		A:       runner(algoA),
+		B:       runner(algoB),
+		Seed:    2021,
+		MaxRuns: 64, // early stopping usually concludes well before this
+		Progress: func(p varbench.Progress) {
+			fmt.Printf("collected %d/%d pairs...\n", p.Pairs, p.MaxRuns)
+		},
+	}
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("A: %+v\n", varbench.Summarize(scoresA))
-	fmt.Printf("B: %+v\n", varbench.Summarize(scoresB))
-
-	result, err := varbench.Compare(scoresA, scoresB)
-	if err != nil {
+	d := res.Datasets[0]
+	fmt.Printf("\nA: %+v\n", varbench.Summarize(d.ScoresA))
+	fmt.Printf("B: %+v\n\n", varbench.Summarize(d.ScoresB))
+	if err := res.Render(os.Stdout, varbench.TextRenderer{}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(result)
-	switch result.Conclusion {
+	switch res.Comparison.Conclusion {
 	case varbench.SignificantAndMeaningful:
 		fmt.Println("=> adopt algorithm A")
 	case varbench.SignificantNotMeaningful:

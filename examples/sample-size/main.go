@@ -3,6 +3,10 @@
 // recommendation by simulation: at the recommended N=29 pairs and a true
 // effect P(A>B)=0.75, the test should detect at roughly the designed power.
 //
+// This is the curve behind varbench.Experiment's defaults: MaxRuns defaults
+// to Noether's N for the chosen γ, and early stopping ends collection once
+// that N is reached (or sooner, if the bootstrap CI is already conclusive).
+//
 // Run: go run ./examples/sample-size
 package main
 

@@ -3,18 +3,26 @@
 // optimization) contributes to the spread of a benchmark's results — a
 // miniature of the paper's Figure 1 on one case study.
 //
-// Run: go run ./examples/variance-study [-task name] [-n seeds]
+// The ξO sources are probed through the public Experiment API: one
+// Experiment per source, with Sources naming the single source that gets a
+// fresh seed on every trial while everything else stays fixed.
+// Experiment.Collect then gathers the measurements across a worker pool.
+//
+// Run: go run ./examples/variance-study [-task name] [-n seeds] [-p workers]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"varbench"
 	"varbench/internal/casestudy"
 	"varbench/internal/estimator"
 	"varbench/internal/hpo"
+	"varbench/internal/pipeline"
 	"varbench/internal/report"
 	"varbench/internal/stats"
 	"varbench/internal/xrand"
@@ -24,11 +32,22 @@ func main() {
 	taskName := flag.String("task", "rte-bert", "case study name")
 	n := flag.Int("n", 15, "seeds per source (paper: 200)")
 	hoptBudget := flag.Int("budget", 10, "HPO trial budget (paper: 200)")
+	workers := flag.Int("p", 0, "collection parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	task, err := casestudy.ByName(*taskName, 20210301)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// One full pipeline run under the trial's per-source seed assignment:
+	// sources the experiment varies get fresh seeds, the rest stay fixed.
+	runTrial := func(t varbench.Trial) (float64, error) {
+		streams := xrand.NewStreams(0)
+		for _, v := range xrand.AllVars() {
+			streams.Reseed(v, t.SourceSeed(varbench.Source(v)))
+		}
+		return pipeline.RunWithParams(task, task.Defaults(), streams)
 	}
 
 	tb := &report.Table{
@@ -38,7 +57,24 @@ func main() {
 
 	var refStd float64
 	for _, v := range task.Sources() {
-		measures, err := estimator.SourceMeasures(task, task.Defaults(), v, *n, 7)
+		var measures []float64
+		var err error
+		if v == xrand.VarNumericalNoise {
+			// The pseudo-source: all seeds fixed, only nondeterministic
+			// floating-point accumulation varies. It has no seed stream for
+			// Sources to vary, so it keeps the estimator's special-cased
+			// protocol.
+			measures, err = estimator.SourceMeasures(task, task.Defaults(), v, *n, 7)
+		} else {
+			exp := varbench.Experiment{
+				ATrial:      runTrial,
+				Sources:     []varbench.Source{varbench.Source(v)},
+				Seed:        7,
+				MaxRuns:     *n,
+				Parallelism: *workers,
+			}
+			measures, err = exp.Collect(context.Background())
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

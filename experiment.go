@@ -1,0 +1,489 @@
+package varbench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"varbench/internal/stats"
+	"varbench/internal/xrand"
+)
+
+// RunFunc executes one complete benchmark measurement of a learning
+// pipeline — ideally training with fresh data split, initialization, data
+// order, augmentation (and, budget permitting, hyperparameter optimization)
+// seeds derived from seed — and returns the performance (higher is better).
+// A RunFunc must be a pure function of its seed: the collection engine may
+// invoke it from multiple goroutines and in any order.
+type RunFunc func(seed uint64) (float64, error)
+
+// TrialFunc is the seed-aware counterpart of RunFunc: it receives the full
+// per-source seed assignment of one trial, enabling pipelines that vary only
+// the experiment's chosen Sources while holding all others fixed. Like
+// RunFunc it must be a pure function of its Trial.
+type TrialFunc func(t Trial) (float64, error)
+
+// EarlyStopPolicy selects how Experiment.Run decides it has collected
+// enough paired measurements.
+type EarlyStopPolicy int
+
+const (
+	// EarlyStopAuto (the default) evaluates the recommended test after each
+	// batch and stops as soon as the bootstrap CI clears γ (a decisive
+	// meaningful win), the CI falls entirely below 0.5 (futility: A cannot
+	// win), or Noether's recommended sample size is reached.
+	//
+	// Note that the CI-based stops examine the interval at every batch
+	// boundary; repeated looks inflate the false-positive rate above the
+	// single-look nominal level (no alpha-spending correction is applied).
+	// They are a compute-saving heuristic for clearly separated pairs —
+	// when strict nominal error rates matter, use EarlyStopOff with
+	// MaxRuns set from SampleSize, the paper's fixed-N protocol.
+	EarlyStopAuto EarlyStopPolicy = iota
+	// EarlyStopOff always collects exactly MaxRuns pairs.
+	EarlyStopOff
+)
+
+// A Dataset names one benchmark in a multi-dataset experiment and may carry
+// its own pipelines; nil ones fall back to the experiment-level A/B.
+type Dataset struct {
+	Name           string
+	A, B           RunFunc
+	ATrial, BTrial TrialFunc
+}
+
+// Progress reports the state of a running experiment after each batch.
+type Progress struct {
+	// Dataset is the dataset being collected ("" for single-dataset runs).
+	Dataset string
+	// Pairs is the number of trials collected so far on this dataset:
+	// paired runs for Experiment.Run, single measurements for
+	// Experiment.Collect.
+	Pairs int
+	// MaxRuns is the collection cap.
+	MaxRuns int
+	// Interim is the recommended test on the pairs so far; nil before
+	// MinRuns pairs exist or when early stopping is off.
+	Interim *Comparison
+}
+
+// An Experiment is a declarative benchmark comparison following the paper's
+// recommended protocol end to end: it collects paired measurements of two
+// pipelines under randomized sources of variation, across a worker pool,
+// stopping early once the evidence is conclusive, and concludes with the
+// probability of outperforming P(A>B) against the meaningfulness threshold
+// γ. The zero value of every knob means "use the recommended default", so
+//
+//	res, err := varbench.Experiment{A: runA, B: runB}.Run(ctx)
+//
+// is a complete comparison, powered per Noether's recommendation when it
+// runs to MaxRuns (see EarlyStopAuto for the caveat on CI-based early
+// stops). Results are bit-identical at
+// any Parallelism: every trial's seeds are derived from (Seed, trial index)
+// alone.
+type Experiment struct {
+	// Name labels the experiment in reports. Optional.
+	Name string
+
+	// A and B are the two pipelines under comparison. Alternatively set
+	// ATrial/BTrial to receive per-source seed assignments; setting both
+	// forms for the same algorithm is an error.
+	A, B           RunFunc
+	ATrial, BTrial TrialFunc
+
+	// Datasets switches to a multi-dataset comparison (Section 6): each
+	// dataset is collected separately and judged at a Bonferroni-adjusted
+	// threshold, and the evidence is combined. Dataset-level pipelines
+	// default to the experiment-level ones.
+	Datasets []Dataset
+
+	// Sources lists the sources of variation that receive a fresh seed on
+	// every trial; the rest stay fixed for the whole experiment. Empty
+	// means vary all sources, the paper's headline recommendation.
+	// Restricting Sources requires TrialFunc pipelines (ATrial/BTrial): a
+	// plain RunFunc only sees the per-trial root seed and would vary
+	// everything regardless, so that combination is rejected.
+	Sources []Source
+
+	// Gamma is the meaningfulness threshold for P(A>B) (default 0.75).
+	Gamma float64
+	// Confidence is the CI confidence level (default 0.95).
+	Confidence float64
+	// Bootstrap is the number of bootstrap resamples (default 1000).
+	Bootstrap int
+	// Seed is the root of all collection and bootstrap randomness. The
+	// zero value means "use the default" (1); to run with seed 0, use
+	// WithSeed(0).
+	Seed uint64
+
+	// MaxRuns caps the number of pairs collected per dataset (default:
+	// Noether's recommended sample size for γ, e.g. 29 at γ=0.75).
+	MaxRuns int
+	// MinRuns is the smallest sample the early-stop rule may judge
+	// (default 5).
+	MinRuns int
+	// BatchSize is the number of pairs collected between early-stop
+	// evaluations (default 8). Batch boundaries are independent of
+	// Parallelism, so changing the worker count never changes the result —
+	// which is also why the default is a constant rather than tracking
+	// Parallelism. At most BatchSize trials are in flight at once, so set
+	// BatchSize ≥ Parallelism to use the full worker pool.
+	BatchSize int
+	// Parallelism is the collection worker-pool size (default GOMAXPROCS).
+	// Effective concurrency is additionally bounded by BatchSize.
+	Parallelism int
+	// EarlyStop selects the stopping policy (default EarlyStopAuto).
+	EarlyStop EarlyStopPolicy
+
+	// Unpaired only affects the score-level Analyze entry point; see
+	// WithUnpaired.
+	Unpaired bool
+
+	// Progress, when set, is invoked after every collected batch.
+	Progress func(Progress)
+
+	// The set flags distinguish an explicit zero passed through an Option
+	// (honored for Seed, rejected as out-of-range for the others) from an
+	// unset field, which takes the default.
+	seedSet       bool
+	gammaSet      bool
+	confidenceSet bool
+	bootstrapSet  bool
+}
+
+// Run executes the experiment: it collects paired measurements (in
+// parallel, honoring ctx) and returns the statistical conclusion. The
+// result is deterministic given the spec — identical at any Parallelism.
+func (e Experiment) Run(ctx context.Context) (*Result, error) {
+	cfg, err := e.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	datasets, err := cfg.datasetList()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{
+		Name:  cfg.Name,
+		Gamma: cfg.Gamma,
+		Seed:  cfg.Seed,
+	}
+
+	if len(datasets) == 1 {
+		// A single dataset — named or not — needs no multiple-comparison
+		// adjustment and reports through the Comparison convenience field.
+		dr, err := cfg.runDataset(ctx, datasets[0], cfg.Gamma)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = []DatasetResult{*dr}
+		res.Comparison = dr.Comparison
+		res.Pairs = dr.Pairs
+		res.Runs = 2 * dr.Pairs
+		res.EarlyStopped = dr.EarlyStopped
+		res.StopReason = dr.StopReason
+		res.WilcoxonP = 1
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Multi-dataset: judge each dataset at the Bonferroni-adjusted
+	// threshold, then combine the evidence through combineEvidence.
+	// Datasets are collected sequentially by design: each batch already
+	// saturates the worker pool, and a serial loop keeps the Progress
+	// callback free of concurrent invocations.
+	adjGamma := stats.GammaBonferroni(cfg.Gamma, 0.05, len(datasets))
+	earlyAll := true
+	for _, ds := range datasets {
+		dr, err := cfg.runDataset(ctx, ds, adjGamma)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, *dr)
+		res.Pairs += dr.Pairs
+		res.Runs += 2 * dr.Pairs
+		if !dr.EarlyStopped {
+			earlyAll = false
+		}
+	}
+	res.EarlyStopped = earlyAll
+	res.AllMeaningful, res.WilcoxonP = combineEvidence(res.Datasets)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Collect runs the experiment's A pipeline MaxRuns times under the
+// experiment's seed-derivation rules and returns the measurements. This is
+// the entry point for variance studies of a single pipeline: set Sources to
+// the sources to probe (the rest stay fixed) and summarize the spread of
+// the returned scores. Early stopping does not apply; exactly MaxRuns
+// measurements are collected unless ctx is canceled or the pipeline errors.
+// Progress, when set, fires after every batch with Interim nil.
+func (e Experiment) Collect(ctx context.Context) ([]float64, error) {
+	cfg, err := e.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.A != nil && cfg.ATrial != nil {
+		return nil, fmt.Errorf("varbench: set A or ATrial, not both")
+	}
+	if err := cfg.checkSources(Dataset{A: cfg.A}); err != nil {
+		return nil, err
+	}
+	run, err := pickRunner(cfg.ATrial, cfg.A, "A")
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.makeTrials("")
+	out := make([]float64, cfg.MaxRuns)
+	for lo := 0; lo < cfg.MaxRuns; lo += cfg.BatchSize {
+		hi := min(lo+cfg.BatchSize, cfg.MaxRuns)
+		if err := collectRuns(ctx, run, trials[lo:hi], out[lo:hi], cfg.Parallelism); err != nil {
+			return nil, err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{Pairs: hi, MaxRuns: cfg.MaxRuns})
+		}
+	}
+	return out, nil
+}
+
+// datasetList normalizes the experiment into one or more fully-specified
+// datasets and validates the pipelines.
+func (e *Experiment) datasetList() ([]Dataset, error) {
+	if e.A != nil && e.ATrial != nil {
+		return nil, fmt.Errorf("varbench: set A or ATrial, not both")
+	}
+	if e.B != nil && e.BTrial != nil {
+		return nil, fmt.Errorf("varbench: set B or BTrial, not both")
+	}
+	if len(e.Datasets) == 0 {
+		if e.A == nil && e.ATrial == nil {
+			return nil, fmt.Errorf("varbench: experiment needs pipeline A")
+		}
+		if e.B == nil && e.BTrial == nil {
+			return nil, fmt.Errorf("varbench: experiment needs pipeline B")
+		}
+		if err := e.checkSources(Dataset{A: e.A, B: e.B}); err != nil {
+			return nil, err
+		}
+		return []Dataset{{A: e.A, B: e.B, ATrial: e.ATrial, BTrial: e.BTrial}}, nil
+	}
+	out := make([]Dataset, len(e.Datasets))
+	seen := make(map[string]bool, len(e.Datasets))
+	for i, ds := range e.Datasets {
+		if ds.Name == "" {
+			return nil, fmt.Errorf("varbench: dataset %d needs a name", i)
+		}
+		if seen[ds.Name] {
+			return nil, fmt.Errorf("varbench: duplicate dataset name %q", ds.Name)
+		}
+		seen[ds.Name] = true
+		if ds.A != nil && ds.ATrial != nil {
+			return nil, fmt.Errorf("varbench: dataset %s: set A or ATrial, not both", ds.Name)
+		}
+		if ds.B != nil && ds.BTrial != nil {
+			return nil, fmt.Errorf("varbench: dataset %s: set B or BTrial, not both", ds.Name)
+		}
+		if ds.A == nil && ds.ATrial == nil {
+			ds.A, ds.ATrial = e.A, e.ATrial
+		}
+		if ds.B == nil && ds.BTrial == nil {
+			ds.B, ds.BTrial = e.B, e.BTrial
+		}
+		if ds.A == nil && ds.ATrial == nil {
+			return nil, fmt.Errorf("varbench: dataset %s needs pipeline A", ds.Name)
+		}
+		if ds.B == nil && ds.BTrial == nil {
+			return nil, fmt.Errorf("varbench: dataset %s needs pipeline B", ds.Name)
+		}
+		if err := e.checkSources(ds); err != nil {
+			return nil, err
+		}
+		out[i] = ds
+	}
+	return out, nil
+}
+
+// checkSources rejects restricted Sources combined with plain RunFunc
+// pipelines: a RunFunc derives everything from the per-trial root seed, so
+// it would silently vary every source instead of only the chosen ones.
+func (e *Experiment) checkSources(ds Dataset) error {
+	if len(e.Sources) == 0 {
+		return nil
+	}
+	if ds.A != nil || ds.B != nil {
+		return fmt.Errorf("varbench: restricting Sources requires TrialFunc pipelines (ATrial/BTrial); a plain RunFunc cannot hold sources fixed")
+	}
+	return nil
+}
+
+// pickRunner adapts either form of pipeline to a TrialFunc.
+func pickRunner(tf TrialFunc, rf RunFunc, which string) (TrialFunc, error) {
+	switch {
+	case tf != nil:
+		return tf, nil
+	case rf != nil:
+		return func(t Trial) (float64, error) { return rf(t.Seed) }, nil
+	default:
+		return nil, fmt.Errorf("varbench: experiment needs pipeline %s", which)
+	}
+}
+
+// runDataset collects one dataset's paired measurements in batches,
+// early-stopping per the policy, and evaluates the recommended test at the
+// meaningfulness threshold gamma.
+func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) (*DatasetResult, error) {
+	runA, err := pickRunner(ds.ATrial, ds.A, "A")
+	if err != nil {
+		return nil, err
+	}
+	runB, err := pickRunner(ds.BTrial, ds.B, "B")
+	if err != nil {
+		return nil, err
+	}
+	trials := e.makeTrials(ds.Name)
+	label := ""
+	if ds.Name != "" {
+		label = "dataset " + ds.Name + ": "
+	}
+	outA := make([]float64, e.MaxRuns)
+	outB := make([]float64, e.MaxRuns)
+	proto := protocol{
+		gamma:     gamma,
+		level:     e.Confidence,
+		bootstrap: e.Bootstrap,
+		seed:      xrand.New(e.datasetRoot(ds.Name)).Split("analysis/bootstrap").Uint64(),
+	}
+	recommended := stats.NoetherSampleSize(gamma, 0.05, 0.05)
+
+	var stop StopReason
+	var lastEval *Comparison // evaluation of outA[:n]/outB[:n], if any
+	n := 0
+	for lo := 0; lo < e.MaxRuns && stop == ""; lo += e.BatchSize {
+		hi := min(lo+e.BatchSize, e.MaxRuns)
+		if err := collectPairs(ctx, label, runA, runB, trials[lo:hi], outA[lo:hi], outB[lo:hi], e.Parallelism); err != nil {
+			return nil, err
+		}
+		n = hi
+		lastEval = nil
+		if e.EarlyStop == EarlyStopAuto && n >= e.MinRuns {
+			c, err := proto.paired(outA[:n], outB[:n])
+			if err != nil {
+				return nil, err
+			}
+			lastEval = &c
+			if n < e.MaxRuns {
+				switch {
+				case c.CILo > gamma:
+					stop = StopCICleared
+				case c.CIHi < 0.5:
+					stop = StopFutility
+				case n >= recommended:
+					stop = StopNoetherN
+				}
+			}
+		}
+		if e.Progress != nil {
+			e.Progress(Progress{Dataset: ds.Name, Pairs: n, MaxRuns: e.MaxRuns, Interim: lastEval})
+		}
+	}
+	if stop == "" {
+		stop = StopMaxRuns
+	}
+	// proto.paired is deterministic in (scores, seed), so the evaluation
+	// that decided the stop doubles as the final result.
+	final := Comparison{}
+	if lastEval != nil {
+		final = *lastEval
+	} else {
+		c, err := proto.paired(outA[:n], outB[:n])
+		if err != nil {
+			return nil, err
+		}
+		final = c
+	}
+	return &DatasetResult{
+		Name:         ds.Name,
+		Comparison:   final,
+		ScoresA:      outA[:n],
+		ScoresB:      outB[:n],
+		Pairs:        n,
+		EarlyStopped: n < e.MaxRuns,
+		StopReason:   stop,
+	}, nil
+}
+
+// datasetRoot derives the seed root of one dataset's collection stream.
+// The unnamed single dataset uses the experiment seed directly, which keeps
+// trial seeds bit-identical to the historical CollectPaired sequence.
+func (e *Experiment) datasetRoot(name string) uint64 {
+	if name == "" {
+		return e.Seed
+	}
+	return xrand.New(e.Seed).Split("dataset/" + name).Uint64()
+}
+
+// makeTrials precomputes the full seed assignment of every trial. Seeds
+// depend only on (Seed, dataset name, trial index), never on worker
+// scheduling, which is what makes results parallelism-invariant.
+func (e *Experiment) makeTrials(dataset string) []Trial {
+	root := xrand.New(e.datasetRoot(dataset))
+
+	varied := make(map[Source]bool)
+	listed := e.Sources
+	restricted := len(listed) > 0
+	if !restricted {
+		listed = AllSources()
+	}
+	for _, s := range listed {
+		varied[s] = true
+	}
+	// Map entries cover the known sources plus any custom labels listed in
+	// a restricted Sources set (those must vary even though SourceSeed's
+	// fallback would hold them fixed).
+	entries := AllSources()
+	knownSet := make(map[Source]bool, len(entries))
+	for _, s := range entries {
+		knownSet[s] = true
+	}
+	for _, s := range listed {
+		if !knownSet[s] {
+			entries = append(entries, s)
+		}
+	}
+
+	// Split does not consume the parent stream, but its output depends on
+	// the parent's state: derive all fixed-source seeds before drawing any
+	// trial seeds so the trial-seed sequence matches xrand.New(root).
+	var fixedRoot uint64
+	if restricted {
+		fixedRoot = root.Split("custom-fixed").Uint64()
+	}
+	fixed := make(map[Source]uint64)
+	for _, s := range entries {
+		if !varied[s] {
+			fixed[s] = root.Split("fixed/" + string(s)).Uint64()
+		}
+	}
+
+	trials := make([]Trial, e.MaxRuns)
+	for i := range trials {
+		seed := root.Uint64()
+		tr := xrand.New(seed)
+		seeds := make(map[Source]uint64, len(entries))
+		for _, s := range entries {
+			if varied[s] {
+				// Same derivation as xrand.NewStreams(seed), so plain
+				// RunFunc pipelines built on NewStreams agree with
+				// SourceSeed for every varied source.
+				seeds[s] = tr.Split(string(s)).Uint64()
+			} else {
+				seeds[s] = fixed[s]
+			}
+		}
+		trials[i] = Trial{Index: i, Seed: seed, seeds: seeds, fixedRoot: fixedRoot}
+	}
+	return trials
+}

@@ -1,0 +1,569 @@
+package varbench
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"varbench/internal/xrand"
+)
+
+// noisyRunner builds a pure RunFunc with the given mean: score = mean +
+// 0.05·N(0,1) derived deterministically from the seed.
+func noisyRunner(mean float64) RunFunc {
+	return func(seed uint64) (float64, error) {
+		return mean + 0.05*xrand.New(seed^0x9E3779B9).NormFloat64(), nil
+	}
+}
+
+func TestRunParallelismInvariance(t *testing.T) {
+	spec := Experiment{
+		A:       noisyRunner(0.85),
+		B:       noisyRunner(0.83),
+		Seed:    7,
+		MaxRuns: 48,
+	}
+	serial := spec
+	serial.Parallelism = 1
+	parallel := spec
+	parallel.Parallelism = 8
+
+	r1, err := serial.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := parallel.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Comparison != r8.Comparison {
+		t.Errorf("comparisons differ across parallelism:\n p=1: %+v\n p=8: %+v",
+			r1.Comparison, r8.Comparison)
+	}
+	if !reflect.DeepEqual(r1.Datasets[0].ScoresA, r8.Datasets[0].ScoresA) ||
+		!reflect.DeepEqual(r1.Datasets[0].ScoresB, r8.Datasets[0].ScoresB) {
+		t.Error("collected scores differ across parallelism")
+	}
+	if r1.Pairs != r8.Pairs || r1.StopReason != r8.StopReason || r1.EarlyStopped != r8.EarlyStopped {
+		t.Errorf("stop bookkeeping differs: p=1 (%d, %s) vs p=8 (%d, %s)",
+			r1.Pairs, r1.StopReason, r8.Pairs, r8.StopReason)
+	}
+}
+
+func TestRunParallelismInvarianceMultiDataset(t *testing.T) {
+	spec := Experiment{
+		Datasets: []Dataset{
+			{Name: "d1", A: noisyRunner(0.9), B: noisyRunner(0.7)},
+			{Name: "d2", A: noisyRunner(0.8), B: noisyRunner(0.6)},
+			{Name: "d3", A: noisyRunner(0.7), B: noisyRunner(0.5)},
+		},
+		Seed:    3,
+		MaxRuns: 24,
+	}
+	serial := spec
+	serial.Parallelism = 1
+	parallel := spec
+	parallel.Parallelism = 8
+	r1, err := serial.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := parallel.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Datasets, r8.Datasets) {
+		t.Error("per-dataset results differ across parallelism")
+	}
+	if r1.WilcoxonP != r8.WilcoxonP || r1.AllMeaningful != r8.AllMeaningful {
+		t.Error("aggregate statistics differ across parallelism")
+	}
+	if !r1.AllMeaningful {
+		t.Errorf("clear winner not accepted: %+v", r1.Datasets)
+	}
+}
+
+func TestRunEarlyStopsClearSeparation(t *testing.T) {
+	// A dominates B by 10σ: the CI clears γ at the first eligible batch.
+	e := Experiment{
+		A:           noisyRunner(1.0),
+		B:           noisyRunner(0.5),
+		MaxRuns:     64,
+		Parallelism: 2,
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EarlyStopped {
+		t.Fatal("clearly separated pair did not early-stop")
+	}
+	if res.Pairs >= 64 {
+		t.Errorf("early stop used %d of %d runs", res.Pairs, 64)
+	}
+	if res.StopReason != StopCICleared {
+		t.Errorf("stop reason = %s, want %s", res.StopReason, StopCICleared)
+	}
+	if res.Comparison.Conclusion != SignificantAndMeaningful {
+		t.Errorf("conclusion = %s", res.Comparison.Conclusion)
+	}
+	if res.Runs != 2*res.Pairs {
+		t.Errorf("runs = %d, want %d", res.Runs, 2*res.Pairs)
+	}
+}
+
+func TestRunEarlyStopBatchBoundaries(t *testing.T) {
+	// Collection proceeds in whole batches: with BatchSize 8 the pair
+	// count at stop must be a multiple of 8 (MaxRuns not reached).
+	var calls atomic.Int64
+	count := func(f RunFunc) RunFunc {
+		return func(seed uint64) (float64, error) { calls.Add(1); return f(seed) }
+	}
+	e := Experiment{
+		A:         count(noisyRunner(1.0)),
+		B:         count(noisyRunner(0.5)),
+		MaxRuns:   60,
+		BatchSize: 8,
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs%8 != 0 {
+		t.Errorf("stopped at %d pairs, not a batch boundary", res.Pairs)
+	}
+	if got := calls.Load(); got != int64(2*res.Pairs) {
+		t.Errorf("pipelines executed %d times, want %d: collection overshot the stop", got, 2*res.Pairs)
+	}
+	if len(res.Datasets[0].ScoresA) != res.Pairs {
+		t.Error("score bookkeeping disagrees with pair count")
+	}
+}
+
+func TestRunEarlyStopNoetherN(t *testing.T) {
+	// Indistinguishable pipelines: no CI verdict, so collection stops at
+	// Noether's recommended N (29 at γ=0.75) short of MaxRuns.
+	e := Experiment{
+		A:       noisyRunner(0.7),
+		B:       noisyRunner(0.7),
+		Seed:    11,
+		MaxRuns: 200,
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopNoetherN && res.StopReason != StopFutility {
+		t.Fatalf("stop reason = %s", res.StopReason)
+	}
+	if res.StopReason == StopNoetherN && res.Pairs < res.Comparison.RecommendedN {
+		t.Errorf("stopped at %d pairs, below recommended %d", res.Pairs, res.Comparison.RecommendedN)
+	}
+	if res.Pairs >= 200 {
+		t.Error("null comparison ran to MaxRuns despite early stopping")
+	}
+}
+
+func TestRunEarlyStopOff(t *testing.T) {
+	e := Experiment{
+		A:         noisyRunner(1.0),
+		B:         noisyRunner(0.5),
+		MaxRuns:   40,
+		EarlyStop: EarlyStopOff,
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 40 || res.EarlyStopped {
+		t.Errorf("early stop off collected %d pairs (early=%v), want all 40", res.Pairs, res.EarlyStopped)
+	}
+	if res.StopReason != StopMaxRuns {
+		t.Errorf("stop reason = %s", res.StopReason)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	slow := func(seed uint64) (float64, error) {
+		// Cancel mid-collection from inside the first run.
+		once.Do(cancel)
+		time.Sleep(time.Millisecond)
+		return 1, nil
+	}
+	e := Experiment{
+		A:           slow,
+		B:           noisyRunner(0.5),
+		MaxRuns:     64,
+		Parallelism: 4,
+	}
+	if _, err := e.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Serial path too.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	e.Parallelism = 1
+	if _, err := e.Run(ctx2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPropagatesPipelineErrors(t *testing.T) {
+	boom := errors.New("boom")
+	bad := func(uint64) (float64, error) { return 0, boom }
+	e := Experiment{A: bad, B: noisyRunner(0.5), Parallelism: 4}
+	if _, err := e.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	e = Experiment{A: noisyRunner(0.5), B: bad, Parallelism: 1}
+	if _, err := e.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	ok := noisyRunner(1)
+	okT := func(Trial) (float64, error) { return 1, nil }
+	cases := map[string]Experiment{
+		"no A":          {B: ok},
+		"no B":          {A: ok},
+		"A and ATrial":  {A: ok, ATrial: okT, B: ok},
+		"B and BTrial":  {A: ok, B: ok, BTrial: okT},
+		"bad gamma":     {A: ok, B: ok, Gamma: 0.4},
+		"gamma one":     {A: ok, B: ok, Gamma: 1},
+		"bad conf":      {A: ok, B: ok, Confidence: 1.5},
+		"one run":       {A: ok, B: ok, MaxRuns: 1},
+		"unnamed ds":    {Datasets: []Dataset{{A: ok, B: ok}}},
+		"dup ds":        {Datasets: []Dataset{{Name: "x", A: ok, B: ok}, {Name: "x", A: ok, B: ok}}},
+		"ds missing AB": {Datasets: []Dataset{{Name: "x"}}},
+		// A plain RunFunc cannot hold sources fixed, so restricting
+		// Sources demands TrialFunc pipelines.
+		"sources with RunFunc": {A: ok, B: ok, Sources: []Source{VarInit}},
+		"sources with ds RunFunc": {ATrial: okT, BTrial: okT, Sources: []Source{VarInit},
+			Datasets: []Dataset{{Name: "x", A: ok, B: ok}}},
+	}
+	for name, e := range cases {
+		if _, err := e.Run(ctx); err == nil {
+			t.Errorf("%s: invalid spec accepted", name)
+		}
+	}
+}
+
+func TestRunDatasetFallbackPipelines(t *testing.T) {
+	// Dataset-level pipelines default to the experiment-level ones.
+	e := Experiment{
+		A: noisyRunner(1.0),
+		B: noisyRunner(0.5),
+		Datasets: []Dataset{
+			{Name: "custom", A: noisyRunner(0.5), B: noisyRunner(1.0)}, // reversed
+			{Name: "default"},
+		},
+		MaxRuns: 16,
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Datasets[0].Comparison.PAB >= 0.5 {
+		t.Error("dataset-level pipelines ignored")
+	}
+	if res.Datasets[1].Comparison.PAB <= 0.5 {
+		t.Error("experiment-level fallback broken")
+	}
+	if res.AllMeaningful {
+		t.Error("reversed dataset cannot be a meaningful win")
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	var events []Progress
+	e := Experiment{
+		A:         noisyRunner(1.0),
+		B:         noisyRunner(0.5),
+		MaxRuns:   24,
+		BatchSize: 8,
+		EarlyStop: EarlyStopOff,
+		Progress:  func(p Progress) { events = append(events, p) },
+	}
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("progress fired %d times, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Pairs != 8*(i+1) || ev.MaxRuns != 24 {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestTrialSourceSeeds(t *testing.T) {
+	e := Experiment{Seed: 5, MaxRuns: 10, Sources: []Source{VarInit}}
+	cfg, err := e.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := cfg.makeTrials("")
+	for i := 1; i < len(trials); i++ {
+		if trials[i].SourceSeed(VarInit) == trials[0].SourceSeed(VarInit) {
+			t.Errorf("varied source repeated its seed at trial %d", i)
+		}
+		for _, s := range AllSources() {
+			if s == VarInit {
+				continue
+			}
+			if trials[i].SourceSeed(s) != trials[0].SourceSeed(s) {
+				t.Errorf("fixed source %s changed at trial %d", s, i)
+			}
+		}
+	}
+	// Varied seeds agree with the xrand.NewStreams derivation from the
+	// trial's root seed, so RunFunc and TrialFunc pipelines compose.
+	streams := xrand.NewStreams(trials[3].Seed)
+	if got, want := trials[3].SourceSeed(VarInit), streams.Seed(xrand.VarInit); got != want {
+		t.Errorf("SourceSeed(VarInit) = %d, want NewStreams seed %d", got, want)
+	}
+	// A custom label outside the restricted set obeys the same contract as
+	// the known sources: fixed across trials.
+	custom := Source("my-noise")
+	if trials[2].SourceSeed(custom) != trials[4].SourceSeed(custom) {
+		t.Error("unlisted custom label varied despite restricted Sources")
+	}
+	// Listed in Sources, a custom label varies per trial.
+	e = Experiment{Seed: 5, MaxRuns: 10, Sources: []Source{custom}}
+	cfg, err = e.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials = cfg.makeTrials("")
+	if trials[2].SourceSeed(custom) == trials[4].SourceSeed(custom) {
+		t.Error("listed custom label did not vary per trial")
+	}
+	if trials[2].SourceSeed(VarInit) != trials[4].SourceSeed(VarInit) {
+		t.Error("known source varied while only the custom label was listed")
+	}
+	// With all sources varying (the default), custom labels vary too.
+	e = Experiment{Seed: 5, MaxRuns: 10}
+	cfg, err = e.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials = cfg.makeTrials("")
+	if trials[2].SourceSeed(custom) == trials[4].SourceSeed(custom) {
+		t.Error("custom label fixed despite vary-all default")
+	}
+}
+
+func TestCollectVariesOnlyChosenSource(t *testing.T) {
+	// A pipeline reading only fixed sources returns a constant; reading
+	// the varied source returns a spread.
+	fixedPipe := func(t Trial) (float64, error) {
+		return xrand.New(t.SourceSeed(VarOrder)).Float64(), nil
+	}
+	variedPipe := func(t Trial) (float64, error) {
+		return xrand.New(t.SourceSeed(VarInit)).Float64(), nil
+	}
+	base := Experiment{Sources: []Source{VarInit}, MaxRuns: 12, Seed: 9}
+
+	e := base
+	e.ATrial = fixedPipe
+	scores, err := e.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 12 {
+		t.Fatalf("collected %d measures", len(scores))
+	}
+	// Mean() rounding leaves ~1e-17 residue on identical values.
+	if Summarize(scores).Std > 1e-12 {
+		t.Error("fixed source leaked variance")
+	}
+
+	e = base
+	e.ATrial = variedPipe
+	scores, err = e.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Summarize(scores).Std < 1e-6 {
+		t.Error("varied source produced no variance")
+	}
+}
+
+func TestCollectProgress(t *testing.T) {
+	var events []Progress
+	e := Experiment{
+		ATrial:    func(t Trial) (float64, error) { return 1, nil },
+		MaxRuns:   20,
+		BatchSize: 8,
+		Progress:  func(p Progress) { events = append(events, p) },
+	}
+	if _, err := e.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 { // batches of 8, 8, 4
+		t.Fatalf("progress fired %d times, want 3", len(events))
+	}
+	if events[2].Pairs != 20 || events[2].MaxRuns != 20 {
+		t.Errorf("last event = %+v", events[2])
+	}
+}
+
+func TestCollectParallelismInvariance(t *testing.T) {
+	run := func(t Trial) (float64, error) {
+		return xrand.New(t.Seed).Float64(), nil
+	}
+	e := Experiment{ATrial: run, MaxRuns: 32, Seed: 4, Parallelism: 1}
+	s1, err := e.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallelism = 8
+	s8, err := e.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s8) {
+		t.Error("Collect differs across parallelism")
+	}
+}
+
+func TestCollectPairedMatchesExperimentSeeds(t *testing.T) {
+	// The deprecated wrapper and the Experiment engine draw the same seed
+	// sequence for the same base seed.
+	var wrapperSeeds, engineSeeds []uint64
+	var mu sync.Mutex
+	record := func(dst *[]uint64) RunFunc {
+		return func(seed uint64) (float64, error) {
+			mu.Lock()
+			*dst = append(*dst, seed)
+			mu.Unlock()
+			return float64(seed%1000) / 1000, nil
+		}
+	}
+	if _, _, err := CollectPaired(record(&wrapperSeeds), noisyRunner(0), 6, 99); err != nil {
+		t.Fatal(err)
+	}
+	e := Experiment{
+		A: record(&engineSeeds), B: noisyRunner(0),
+		Seed: 99, MaxRuns: 6, EarlyStop: EarlyStopOff, Parallelism: 1,
+	}
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wrapperSeeds, engineSeeds) {
+		t.Errorf("seed sequences diverged:\n wrapper: %v\n engine:  %v", wrapperSeeds, engineSeeds)
+	}
+}
+
+func TestRunSingleNamedDataset(t *testing.T) {
+	// One named dataset is still a single-dataset run: no γ adjustment,
+	// and the Comparison convenience field is populated.
+	e := Experiment{
+		Datasets: []Dataset{{Name: "only", A: noisyRunner(1.0), B: noisyRunner(0.5)}},
+		MaxRuns:  16,
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comparison.Conclusion != SignificantAndMeaningful {
+		t.Errorf("Comparison not populated for single named dataset: %+v", res.Comparison)
+	}
+	if res.Comparison.Gamma != DefaultGamma {
+		t.Errorf("γ adjusted for a single dataset: %v", res.Comparison.Gamma)
+	}
+	if res.StopReason == "" {
+		t.Error("StopReason missing for single named dataset")
+	}
+	if res.Datasets[0].Name != "only" {
+		t.Error("dataset name lost")
+	}
+}
+
+func TestWithSeedZeroHonored(t *testing.T) {
+	// The zero Seed field means "default 1", but an explicit WithSeed(0)
+	// must survive defaulting (the bootstrap then runs from xrand.New(0)).
+	var explicit Experiment
+	WithSeed(0)(&explicit)
+	cfg, err := explicit.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 0 {
+		t.Errorf("WithSeed(0) remapped to %d", cfg.Seed)
+	}
+	var unset Experiment
+	cfg, err = unset.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 1 {
+		t.Errorf("unset seed defaulted to %d, want 1", cfg.Seed)
+	}
+}
+
+func TestExplicitZeroOptionsRejected(t *testing.T) {
+	// Regression: an explicit WithGamma(0) must be rejected like any other
+	// out-of-range γ (the zero *field* still means "use the default").
+	a := []float64{1, 2, 3}
+	if _, err := Compare(a, a, WithGamma(0)); err == nil {
+		t.Error("WithGamma(0) silently replaced by the default")
+	}
+	if _, err := Compare(a, a, WithConfidence(0)); err == nil {
+		t.Error("WithConfidence(0) silently replaced by the default")
+	}
+	if _, err := Compare(a, a, WithBootstrap(-1)); err == nil {
+		t.Error("WithBootstrap(-1) accepted")
+	}
+	if _, err := Compare(a, a, WithGamma(0.8)); err != nil {
+		t.Errorf("valid explicit options rejected: %v", err)
+	}
+}
+
+func TestAnalyzeDatasetsHonorsProtocolOptions(t *testing.T) {
+	// Regression: the multi-dataset path used to drop WithConfidence and
+	// WithBootstrap, always bootstrapping at the 0.95/1000 defaults.
+	// A weak effect, so the bootstrap distribution of P(A>B) has spread
+	// (an overwhelming winner gives CI [1,1] at any confidence level).
+	ds := syntheticDatasets(5, 3, 20, 0.2)
+	narrow, err := AnalyzeDatasets(ds, WithConfidence(0.5), WithBootstrap(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := AnalyzeDatasets(ds, WithConfidence(0.999), WithBootstrap(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range narrow.Datasets {
+		n, w := narrow.Datasets[i].Comparison, wide.Datasets[i].Comparison
+		if w.CIHi-w.CILo <= n.CIHi-n.CILo {
+			t.Errorf("dataset %d: confidence level ignored (0.5: [%v,%v], 0.999: [%v,%v])",
+				i, n.CILo, n.CIHi, w.CILo, w.CIHi)
+		}
+	}
+}
+
+func TestCompareAcrossDatasetsGammaValidation(t *testing.T) {
+	// Regression: CompareAcrossDatasets used to skip the γ ∈ (0.5, 1)
+	// check that Compare and CompareUnpaired perform.
+	ds := syntheticDatasets(1, 2, 10, 1.0)
+	if _, err := CompareAcrossDatasets(ds, WithGamma(0.4)); err == nil {
+		t.Error("γ ≤ 0.5 accepted")
+	}
+	if _, err := CompareAcrossDatasets(ds, WithGamma(1.0)); err == nil {
+		t.Error("γ ≥ 1 accepted")
+	}
+	if _, err := CompareAcrossDatasets(ds, WithGamma(0.8)); err != nil {
+		t.Errorf("valid γ rejected: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module varbench
+
+go 1.24

@@ -44,15 +44,21 @@ type DatasetPairs struct {
 // combines the outcomes: Dror-style all-datasets acceptance plus Demšar's
 // Wilcoxon over per-dataset mean differences.
 func AcrossDatasets(datasets []DatasetPairs, gamma, alpha float64, r *xrand.Source) (MultiResult, error) {
+	return AcrossDatasetsCrit(datasets, PAB{Gamma: gamma}, alpha, r)
+}
+
+// AcrossDatasetsCrit is AcrossDatasets with an explicit criterion carrying
+// the CI level and bootstrap count; crit.Gamma is the unadjusted γ.
+func AcrossDatasetsCrit(datasets []DatasetPairs, crit PAB, alpha float64, r *xrand.Source) (MultiResult, error) {
 	if len(datasets) == 0 {
 		return MultiResult{}, fmt.Errorf("compare: no datasets")
 	}
-	adjGamma := stats.GammaBonferroni(gamma, alpha, len(datasets))
+	adjGamma := stats.GammaBonferroni(crit.gamma(), alpha, len(datasets))
 	res := MultiResult{AllMeaningful: true}
 	meansA := make([]float64, 0, len(datasets))
 	meansB := make([]float64, 0, len(datasets))
 	for _, ds := range datasets {
-		crit := PAB{Gamma: adjGamma}
+		crit := PAB{Gamma: adjGamma, Level: crit.Level, Bootstrap: crit.Bootstrap}
 		out, err := crit.Evaluate(ds.Pairs, r)
 		if err != nil {
 			return MultiResult{}, fmt.Errorf("compare: dataset %s: %w", ds.Name, err)

@@ -1,0 +1,148 @@
+package varbench
+
+import (
+	"fmt"
+	"runtime"
+
+	"varbench/internal/stats"
+)
+
+// Default knobs of the recommended protocol.
+const (
+	// DefaultConfidence is the confidence level of the bootstrap interval.
+	DefaultConfidence = 0.95
+	// DefaultBootstrap is the number of bootstrap resamples.
+	DefaultBootstrap = 1000
+	// DefaultBatchSize is the number of pairs collected between early-stop
+	// evaluations. It is independent of Parallelism so that results do not
+	// depend on the worker count.
+	DefaultBatchSize = 8
+	// DefaultMinRuns is the smallest sample the early-stop rule will judge.
+	DefaultMinRuns = 5
+)
+
+// An Option adjusts an Experiment (or, for the score-level entry points
+// Analyze, AnalyzeDatasets and the deprecated Compare family, the protocol
+// parameters they share with Experiment).
+type Option func(*Experiment)
+
+// WithGamma sets the meaningfulness threshold for P(A>B) (default 0.75).
+// Unlike the zero Experiment.Gamma field (which means "use the default"),
+// an explicit out-of-range value — including 0 — is rejected.
+func WithGamma(gamma float64) Option {
+	return func(e *Experiment) { e.Gamma = gamma; e.gammaSet = true }
+}
+
+// WithConfidence sets the CI confidence level (default 0.95). An explicit
+// out-of-range value — including 0 — is rejected.
+func WithConfidence(level float64) Option {
+	return func(e *Experiment) { e.Confidence = level; e.confidenceSet = true }
+}
+
+// WithBootstrap sets the number of bootstrap resamples (default 1000). An
+// explicit non-positive value is rejected.
+func WithBootstrap(k int) Option {
+	return func(e *Experiment) { e.Bootstrap = k; e.bootstrapSet = true }
+}
+
+// WithSeed sets the experiment's root seed, from which all collection and
+// bootstrap randomness derives (default 1). Unlike the Experiment.Seed
+// field, whose zero value means "use the default", an explicit WithSeed(0)
+// is honored.
+func WithSeed(seed uint64) Option {
+	return func(e *Experiment) { e.Seed = seed; e.seedSet = true }
+}
+
+// WithParallelism sets the worker-pool size used during collection
+// (default: GOMAXPROCS). Results are identical at any parallelism.
+// Effective concurrency is bounded by BatchSize, the unit of collection.
+func WithParallelism(n int) Option { return func(e *Experiment) { e.Parallelism = n } }
+
+// WithMaxRuns caps the number of paired measurements collected
+// (default: Noether's recommended sample size for the chosen γ).
+func WithMaxRuns(n int) Option { return func(e *Experiment) { e.MaxRuns = n } }
+
+// WithMinRuns sets the smallest sample the early-stop rule may judge
+// (default 5).
+func WithMinRuns(n int) Option { return func(e *Experiment) { e.MinRuns = n } }
+
+// WithBatchSize sets how many pairs are collected between early-stop
+// evaluations (default 8). Raise it to at least the parallelism when using
+// a large worker pool — at most one batch is in flight at a time.
+func WithBatchSize(n int) Option { return func(e *Experiment) { e.BatchSize = n } }
+
+// WithEarlyStop selects the early-stopping policy (default EarlyStopAuto).
+func WithEarlyStop(p EarlyStopPolicy) Option { return func(e *Experiment) { e.EarlyStop = p } }
+
+// WithSources restricts which sources of variation receive a fresh seed on
+// every run; the rest stay fixed (default: all sources vary).
+func WithSources(sources ...Source) Option {
+	return func(e *Experiment) { e.Sources = sources }
+}
+
+// WithUnpaired marks pre-collected scores as unpaired, switching Analyze to
+// the Mann-Whitney estimate of P(A>B). It has no effect on Experiment.Run,
+// which always pairs runs on shared trials.
+func WithUnpaired() Option { return func(e *Experiment) { e.Unpaired = true } }
+
+// WithProgress installs a callback invoked after every collected batch.
+func WithProgress(f func(Progress)) Option { return func(e *Experiment) { e.Progress = f } }
+
+// withDefaults returns a copy of e with zero-valued protocol knobs replaced
+// by their defaults, and rejects out-of-range settings.
+func (e *Experiment) withDefaults() (*Experiment, error) {
+	c := *e
+	if c.Gamma == 0 && !c.gammaSet {
+		c.Gamma = DefaultGamma
+	}
+	if c.Gamma <= 0.5 || c.Gamma >= 1 {
+		return nil, fmt.Errorf("varbench: γ must be in (0.5, 1), got %v", c.Gamma)
+	}
+	if c.Confidence == 0 && !c.confidenceSet {
+		c.Confidence = DefaultConfidence
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return nil, fmt.Errorf("varbench: confidence must be in (0, 1), got %v", c.Confidence)
+	}
+	if c.Bootstrap == 0 && !c.bootstrapSet {
+		c.Bootstrap = DefaultBootstrap
+	}
+	if c.Bootstrap < 1 {
+		return nil, fmt.Errorf("varbench: bootstrap resamples must be ≥ 1, got %d", c.Bootstrap)
+	}
+	if c.Seed == 0 && !c.seedSet {
+		c.Seed = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.MinRuns <= 0 {
+		c.MinRuns = DefaultMinRuns
+	}
+	if c.MinRuns < 2 {
+		c.MinRuns = 2
+	}
+	if c.MaxRuns == 0 {
+		c.MaxRuns = stats.NoetherSampleSize(c.Gamma, 0.05, 0.05)
+	}
+	if c.MaxRuns < 2 {
+		return nil, fmt.Errorf("varbench: MaxRuns must be ≥ 2, got %d", c.MaxRuns)
+	}
+	if c.MinRuns > c.MaxRuns {
+		c.MinRuns = c.MaxRuns
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &c, nil
+}
+
+// applyOptions builds a defaulted Experiment carrying only protocol
+// parameters, for the score-level entry points.
+func applyOptions(opts []Option) (*Experiment, error) {
+	var e Experiment
+	for _, opt := range opts {
+		opt(&e)
+	}
+	return e.withDefaults()
+}

@@ -1,0 +1,90 @@
+package varbench
+
+import "varbench/internal/xrand"
+
+// A Source names one source of variation in a learning pipeline, following
+// the paper's decomposition ξ = ξO ∪ ξH (Section 2.1). An Experiment draws a
+// fresh seed for every varied source on every run and holds the remaining
+// sources fixed, which is the paper's protocol for both full randomization
+// (vary everything — the default) and per-source variance studies (vary
+// exactly one).
+type Source string
+
+// The canonical sources of variation studied in the paper (Figure 1).
+const (
+	// VarDataSplit seeds the bootstrap / out-of-bootstrap resampling of the
+	// finite dataset into train+valid and test sets.
+	VarDataSplit Source = Source(xrand.VarDataSplit)
+	// VarInit seeds model parameter initialization.
+	VarInit Source = Source(xrand.VarInit)
+	// VarOrder seeds the visit order of examples in SGD.
+	VarOrder Source = Source(xrand.VarOrder)
+	// VarDropout seeds dropout masks.
+	VarDropout Source = Source(xrand.VarDropout)
+	// VarAugment seeds stochastic data augmentation.
+	VarAugment Source = Source(xrand.VarAugment)
+	// VarHOpt seeds the hyperparameter-optimization search (ξH).
+	VarHOpt Source = Source(xrand.VarHOpt)
+	// VarHOptSplit seeds the train/validation splitting internal to HOpt.
+	VarHOptSplit Source = Source(xrand.VarHOptSplit)
+	// VarNumericalNoise is a pseudo-source naming runs in which every seed
+	// is held fixed and only nondeterministic floating-point accumulation
+	// varies (Appendix A). It has no seed stream and is not part of
+	// AllSources.
+	VarNumericalNoise Source = Source(xrand.VarNumericalNoise)
+)
+
+// LearningSources lists the ξO sources in the order used by Figure 1.
+func LearningSources() []Source {
+	return sourcesOf(xrand.LearningVars())
+}
+
+// AllSources lists every seedable source, ξO then ξH. It is the default set
+// an Experiment varies per run.
+func AllSources() []Source {
+	return sourcesOf(xrand.AllVars())
+}
+
+func sourcesOf(vars []xrand.Var) []Source {
+	out := make([]Source, len(vars))
+	for i, v := range vars {
+		out[i] = Source(v)
+	}
+	return out
+}
+
+// A Trial is the complete seed assignment of one benchmark run: a root seed
+// (what a plain RunFunc receives) plus one derived seed per source of
+// variation. Sources listed in the experiment's Sources field receive a
+// fresh seed on every trial; all other sources keep a seed fixed across the
+// whole experiment, so a TrialFunc can probe exactly the chosen sources.
+type Trial struct {
+	// Index is the 0-based position of this trial in the experiment;
+	// algorithms A and B of a pair share the same Trial.
+	Index int
+	// Seed is the root seed for this trial. Deriving all per-source seeds
+	// from it via xrand.NewStreams(Seed) agrees with SourceSeed for every
+	// varied source.
+	Seed uint64
+
+	seeds map[Source]uint64
+	// fixedRoot derives seeds for custom labels outside a restricted
+	// Sources set; 0 means the experiment varies all sources, so unknown
+	// labels vary per trial instead.
+	fixedRoot uint64
+}
+
+// SourceSeed returns the seed assigned to one source of variation for this
+// trial: fresh per trial for varied sources, constant across trials for the
+// rest. Custom labels follow the same contract: when the experiment
+// restricts Sources, a label not in that set yields a seed that is constant
+// across trials; when all sources vary (the default), it varies per trial.
+func (t Trial) SourceSeed(s Source) uint64 {
+	if seed, ok := t.seeds[s]; ok {
+		return seed
+	}
+	if t.fixedRoot != 0 {
+		return xrand.New(t.fixedRoot).Split("fixed/" + string(s)).Uint64()
+	}
+	return xrand.New(t.Seed).Split(string(s)).Uint64()
+}

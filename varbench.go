@@ -1,15 +1,38 @@
 // Package varbench is a toolkit for variance-aware machine-learning
 // benchmarks, implementing the recommendations of Bouthillier et al.,
-// "Accounting for Variance in Machine Learning Benchmarks" (MLSys 2021):
+// "Accounting for Variance in Machine Learning Benchmarks" (MLSys 2021).
 //
-//  1. Randomize as many sources of variation as possible when measuring a
-//     pipeline's performance (CollectPaired runs your pipeline under fresh
-//     seeds, pairing the two algorithms on shared seeds).
-//  2. Use multiple random data splits rather than a single fixed test set
-//     (see internal/data for bootstrap / out-of-bootstrap splitting).
-//  3. Conclude with the probability of outperforming P(A>B) against a
-//     meaningfulness threshold γ, not with a bare average difference
-//     (Compare implements the full Appendix C protocol).
+// The public surface is the Experiment type: a declarative spec of a
+// benchmark comparison that owns collection, statistics and reporting end
+// to end.
+//
+//	exp := varbench.Experiment{
+//		A: runCandidate,   // func(seed uint64) (float64, error)
+//		B: runBaseline,
+//		Parallelism: 8,    // collection fans out across a worker pool
+//	}
+//	res, err := exp.Run(ctx)
+//	...
+//	res.Render(os.Stdout, varbench.TextRenderer{})
+//
+// Run executes the paper's protocol:
+//
+//  1. It randomizes every source of variation (data split, initialization,
+//     data order, dropout, augmentation, HPO — see Source) on every run,
+//     pairing the two algorithms on shared trials so that shared noise
+//     cancels (Appendix C.2). Restrict Sources to probe individual
+//     variances, or use Experiment.Collect for single-pipeline studies.
+//  2. It collects in parallel batches with deterministic per-trial seeds:
+//     the result is bit-identical at any Parallelism, and collection stops
+//     early as soon as the bootstrap CI clears γ, A provably cannot win,
+//     or Noether's recommended sample size is reached.
+//  3. It concludes with the probability of outperforming P(A>B) against
+//     the meaningfulness threshold γ — the three-zone decision of
+//     Appendix C.6 — and renders as text, JSON or CSV (Renderer).
+//
+// Multi-dataset comparisons (Section 6) use the Datasets field; pre-collected
+// scores go through Analyze / AnalyzeDatasets, which the `varbench compare`
+// subcommand exposes on the command line.
 //
 // The internal packages contain the complete reproduction of the paper's
 // experiments: five synthetic case studies, the ideal and biased estimators,
@@ -18,208 +41,79 @@
 package varbench
 
 import (
+	"context"
 	"fmt"
-	"math"
-
-	"varbench/internal/compare"
-	"varbench/internal/stats"
-	"varbench/internal/xrand"
 )
 
 // DefaultGamma is the recommended meaningfulness threshold for P(A>B).
-const DefaultGamma = compare.DefaultGamma
-
-// RunFunc executes one complete benchmark measurement of a learning
-// pipeline — ideally training with fresh data split, initialization, data
-// order, augmentation (and, budget permitting, hyperparameter optimization)
-// seeds derived from seed — and returns the performance (higher is better).
-type RunFunc func(seed uint64) (float64, error)
+const DefaultGamma = 0.75
 
 // CollectPaired measures two pipelines n times each, pairing them on shared
 // seeds: run i of both algorithms receives the same seed, so shared sources
 // of variation (data splits, ordering) cancel in the comparison, which
 // increases statistical power at no cost (Appendix C.2).
+//
+// Deprecated: use Experiment.Run, which collects in parallel, supports
+// cancellation and early stopping, and performs the statistical conclusion
+// in the same call. CollectPaired collects serially and keeps its
+// historical seed sequence — identical to an Experiment whose Seed equals
+// baseSeed (for baseSeed 0, set the seed via WithSeed(0), since the zero
+// Seed field means "default").
 func CollectPaired(a, b RunFunc, n int, baseSeed uint64) (scoresA, scoresB []float64, err error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("varbench: n must be ≥ 1")
 	}
-	seeder := xrand.New(baseSeed)
+	// Historical seed sequence: trial seeds drawn from xrand.New(baseSeed)
+	// with no defaulting, exactly as makeTrials derives them.
+	e := Experiment{Seed: baseSeed, MaxRuns: n}
+	runA, err := pickRunner(nil, a, "A")
+	if err != nil {
+		return nil, nil, err
+	}
+	runB, err := pickRunner(nil, b, "B")
+	if err != nil {
+		return nil, nil, err
+	}
 	scoresA = make([]float64, n)
 	scoresB = make([]float64, n)
-	for i := 0; i < n; i++ {
-		seed := seeder.Uint64()
-		if scoresA[i], err = a(seed); err != nil {
-			return nil, nil, fmt.Errorf("varbench: algorithm A run %d: %w", i, err)
-		}
-		if scoresB[i], err = b(seed); err != nil {
-			return nil, nil, fmt.Errorf("varbench: algorithm B run %d: %w", i, err)
-		}
+	if err := collectPairs(context.Background(), "", runA, runB, e.makeTrials(""), scoresA, scoresB, 1); err != nil {
+		return nil, nil, err
 	}
 	return scoresA, scoresB, nil
 }
-
-// Conclusion is the three-zone outcome of the recommended test.
-type Conclusion string
-
-// The possible conclusions.
-const (
-	// NotSignificant: the difference could be noise alone; collect more
-	// measurements or treat the algorithms as equivalent.
-	NotSignificant Conclusion = "not significant"
-	// SignificantNotMeaningful: a real but practically negligible
-	// difference (P(A>B) below γ).
-	SignificantNotMeaningful Conclusion = "significant but not meaningful"
-	// SignificantAndMeaningful: algorithm A reliably outperforms B.
-	SignificantAndMeaningful Conclusion = "significant and meaningful"
-)
-
-// Comparison is the result of the recommended statistical protocol.
-type Comparison struct {
-	// MeanA, MeanB are the average performances.
-	MeanA, MeanB float64
-	// PAB is the estimated probability that A outperforms B on one run
-	// (ties counted half) — Equation 9.
-	PAB float64
-	// CILo, CIHi bound PAB with a percentile-bootstrap confidence interval.
-	CILo, CIHi float64
-	// Gamma is the meaningfulness threshold the conclusion used.
-	Gamma float64
-	// Conclusion is the three-zone decision of Appendix C.6.
-	Conclusion Conclusion
-	// RecommendedN is Noether's minimal sample size for this γ at
-	// α=β=0.05; if fewer pairs were supplied, the comparison is
-	// underpowered and NotSignificant outcomes are inconclusive.
-	RecommendedN int
-	// N is the number of pairs actually used.
-	N int
-}
-
-// Option adjusts the comparison protocol.
-type Option func(*options)
-
-type options struct {
-	gamma     float64
-	level     float64
-	bootstrap int
-	seed      uint64
-}
-
-// WithGamma sets the meaningfulness threshold (default 0.75).
-func WithGamma(gamma float64) Option { return func(o *options) { o.gamma = gamma } }
-
-// WithConfidence sets the CI confidence level (default 0.95).
-func WithConfidence(level float64) Option { return func(o *options) { o.level = level } }
-
-// WithBootstrap sets the number of bootstrap resamples (default 1000).
-func WithBootstrap(k int) Option { return func(o *options) { o.bootstrap = k } }
-
-// WithSeed seeds the bootstrap (default 1).
-func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 
 // Compare applies the paper's recommended test to paired performance
 // measures: scoresA[i] and scoresB[i] must come from the same seeds/splits.
 // It returns the estimated P(A>B), its confidence interval, and the
 // three-zone conclusion.
+//
+// Deprecated: use Experiment.Run for end-to-end comparisons, or Analyze for
+// pre-collected scores (same statistics, renderable Result).
 func Compare(scoresA, scoresB []float64, opts ...Option) (Comparison, error) {
 	if len(scoresA) != len(scoresB) {
 		return Comparison{}, fmt.Errorf("varbench: unpaired lengths %d vs %d",
 			len(scoresA), len(scoresB))
 	}
-	o := options{gamma: DefaultGamma, level: 0.95, bootstrap: 1000, seed: 1}
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if o.gamma <= 0.5 || o.gamma >= 1 {
-		return Comparison{}, fmt.Errorf("varbench: γ must be in (0.5, 1), got %v", o.gamma)
-	}
-	pairs, err := compare.Pairs(scoresA, scoresB)
+	res, err := Analyze(scoresA, scoresB, opts...)
 	if err != nil {
 		return Comparison{}, err
 	}
-	crit := compare.PAB{Gamma: o.gamma, Level: o.level, Bootstrap: o.bootstrap}
-	res, err := crit.Evaluate(pairs, xrand.New(o.seed))
-	if err != nil {
-		return Comparison{}, err
-	}
-	out := Comparison{
-		MeanA:        stats.Mean(scoresA),
-		MeanB:        stats.Mean(scoresB),
-		PAB:          res.PAB,
-		CILo:         res.CI.Lo,
-		CIHi:         res.CI.Hi,
-		Gamma:        o.gamma,
-		RecommendedN: stats.NoetherSampleSize(o.gamma, 0.05, 0.05),
-		N:            len(pairs),
-	}
-	switch res.Decision {
-	case compare.SignificantAndMeaningful:
-		out.Conclusion = SignificantAndMeaningful
-	case compare.SignificantNotMeaningful:
-		out.Conclusion = SignificantNotMeaningful
-	default:
-		out.Conclusion = NotSignificant
-	}
-	return out, nil
+	return res.Comparison, nil
 }
 
 // CompareUnpaired applies the recommended test to measures collected
 // without shared seeds: P(A>B) comes from the Mann-Whitney U statistic and
-// the bootstrap resamples each sample independently. Prefer Compare with
-// CollectPaired when you control both pipelines — pairing increases power
+// the bootstrap resamples each sample independently. Prefer paired
+// collection when you control both pipelines — pairing increases power
 // substantially (Appendix C.2).
+//
+// Deprecated: use Analyze with WithUnpaired.
 func CompareUnpaired(scoresA, scoresB []float64, opts ...Option) (Comparison, error) {
-	o := options{gamma: DefaultGamma, level: 0.95, bootstrap: 1000, seed: 1}
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if o.gamma <= 0.5 || o.gamma >= 1 {
-		return Comparison{}, fmt.Errorf("varbench: γ must be in (0.5, 1), got %v", o.gamma)
-	}
-	crit := compare.PAB{Gamma: o.gamma, Level: o.level, Bootstrap: o.bootstrap}
-	res, err := crit.EvaluateUnpaired(scoresA, scoresB, xrand.New(o.seed))
+	res, err := Analyze(scoresA, scoresB, append(opts, WithUnpaired())...)
 	if err != nil {
 		return Comparison{}, err
 	}
-	out := Comparison{
-		MeanA:        stats.Mean(scoresA),
-		MeanB:        stats.Mean(scoresB),
-		PAB:          res.PAB,
-		CILo:         res.CI.Lo,
-		CIHi:         res.CI.Hi,
-		Gamma:        o.gamma,
-		RecommendedN: stats.NoetherSampleSize(o.gamma, 0.05, 0.05),
-		N:            min(len(scoresA), len(scoresB)),
-	}
-	switch res.Decision {
-	case compare.SignificantAndMeaningful:
-		out.Conclusion = SignificantAndMeaningful
-	case compare.SignificantNotMeaningful:
-		out.Conclusion = SignificantNotMeaningful
-	default:
-		out.Conclusion = NotSignificant
-	}
-	return out, nil
-}
-
-// String renders the comparison in one line.
-func (c Comparison) String() string {
-	return fmt.Sprintf(
-		"P(A>B)=%.3f CI[%.3f, %.3f] γ=%.2f n=%d (recommended ≥%d): %s",
-		c.PAB, c.CILo, c.CIHi, c.Gamma, c.N, c.RecommendedN, c.Conclusion)
-}
-
-// SampleSize returns the minimal number of paired measurements for the
-// recommended test to detect P(A>B) ≥ gamma with 5% false positives and 5%
-// false negatives (Noether 1987; Figure C.1). SampleSize(0.75) = 29.
-func SampleSize(gamma float64) int {
-	return stats.NoetherSampleSize(gamma, 0.05, 0.05)
-}
-
-// DatasetScores carries the paired scores of one dataset for a multi-dataset
-// comparison.
-type DatasetScores struct {
-	Name             string
-	ScoresA, ScoresB []float64
+	return res.Comparison, nil
 }
 
 // MultiDatasetComparison aggregates evidence across several datasets
@@ -240,20 +134,11 @@ type MultiDatasetComparison struct {
 
 // CompareAcrossDatasets runs the recommended test per dataset with a
 // multiple-comparison-adjusted threshold and combines the evidence.
+//
+// Deprecated: use Experiment.Run with Datasets for end-to-end multi-dataset
+// comparisons, or AnalyzeDatasets for pre-collected scores.
 func CompareAcrossDatasets(datasets []DatasetScores, opts ...Option) (MultiDatasetComparison, error) {
-	o := options{gamma: DefaultGamma, level: 0.95, bootstrap: 1000, seed: 1}
-	for _, opt := range opts {
-		opt(&o)
-	}
-	in := make([]compare.DatasetPairs, 0, len(datasets))
-	for _, ds := range datasets {
-		pairs, err := compare.Pairs(ds.ScoresA, ds.ScoresB)
-		if err != nil {
-			return MultiDatasetComparison{}, fmt.Errorf("varbench: dataset %s: %w", ds.Name, err)
-		}
-		in = append(in, compare.DatasetPairs{Name: ds.Name, Pairs: pairs})
-	}
-	res, err := compare.AcrossDatasets(in, o.gamma, 0.05, xrand.New(o.seed))
+	res, err := AnalyzeDatasets(datasets, opts...)
 	if err != nil {
 		return MultiDatasetComparison{}, err
 	}
@@ -261,54 +146,9 @@ func CompareAcrossDatasets(datasets []DatasetScores, opts ...Option) (MultiDatas
 		AllMeaningful: res.AllMeaningful,
 		WilcoxonP:     res.WilcoxonP,
 	}
-	for i, d := range res.PerDataset {
-		c := Comparison{
-			MeanA:        stats.Mean(datasets[i].ScoresA),
-			MeanB:        stats.Mean(datasets[i].ScoresB),
-			PAB:          d.Result.PAB,
-			CILo:         d.Result.CI.Lo,
-			CIHi:         d.Result.CI.Hi,
-			Gamma:        d.AdjustedGamma,
-			RecommendedN: stats.NoetherSampleSize(d.AdjustedGamma, 0.05, 0.05),
-			N:            len(datasets[i].ScoresA),
-		}
-		switch d.Result.Decision {
-		case compare.SignificantAndMeaningful:
-			c.Conclusion = SignificantAndMeaningful
-		case compare.SignificantNotMeaningful:
-			c.Conclusion = SignificantNotMeaningful
-		default:
-			c.Conclusion = NotSignificant
-		}
-		out.PerDataset = append(out.PerDataset, c)
-		out.Names = append(out.Names, d.Dataset)
+	for _, d := range res.Datasets {
+		out.PerDataset = append(out.PerDataset, d.Comparison)
+		out.Names = append(out.Names, d.Name)
 	}
 	return out, nil
-}
-
-// VarianceSummary describes the spread of repeated benchmark measurements.
-type VarianceSummary struct {
-	N      int
-	Mean   float64
-	Std    float64
-	StdErr float64
-	// NormalP is the Shapiro-Wilk p-value (NaN when n outside [3,5000]):
-	// small values warn that normal-theory intervals are unreliable.
-	NormalP float64
-}
-
-// Summarize computes the variance summary of repeated measurements.
-func Summarize(scores []float64) VarianceSummary {
-	s := VarianceSummary{
-		N:      len(scores),
-		Mean:   stats.Mean(scores),
-		Std:    stats.Std(scores),
-		StdErr: stats.StdErr(scores),
-	}
-	if _, p, err := stats.ShapiroWilk(scores); err == nil {
-		s.NormalP = p
-	} else {
-		s.NormalP = math.NaN()
-	}
-	return s
 }
