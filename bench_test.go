@@ -10,8 +10,11 @@ package varbench
 // Paper-scale budgets are available through cmd/varbench (without -quick).
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	"varbench/internal/casestudy"
@@ -517,6 +520,82 @@ func BenchmarkPipelineRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := estimator.FixHOptEst(task, hpo.RandomSearch{}, 3, 3,
 			estimator.SubsetAll, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Parallel analysis-engine benchmarks (PR 2 perf trajectory) ---------
+
+// BenchmarkBatchedAnalysis measures the batched-analysis hot path: the
+// recommended test (K=1000 bootstrap over n=29 pairs) exactly as the
+// early-stop loop re-runs it at every batch boundary, at 1 analysis worker
+// (serial reference) vs GOMAXPROCS sharded workers.
+func BenchmarkBatchedAnalysis(b *testing.B) {
+	r := xrand.New(8)
+	n := 29
+	a := make([]float64, n)
+	bb := make([]float64, n)
+	for i := range a {
+		base := r.NormFloat64()
+		a[i] = base + 0.5
+		bb[i] = base + 0.3*r.NormFloat64()
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("analysis-workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(a, bb, WithSeed(uint64(i+1)), WithAnalysisParallelism(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCollectionLazyTrials pins the collection-memory fix: an
+// early-stopped experiment with a huge MaxRuns must allocate per collected
+// batch, not per MaxRuns — before the lazy trial stream, the 1<<20 cap
+// below meant ~1M Trial structs plus seed maps up front (B/op exploded
+// with the cap; now it is flat).
+func BenchmarkCollectionLazyTrials(b *testing.B) {
+	for _, maxRuns := range []int{64, 1 << 20} {
+		b.Run(fmt.Sprintf("maxruns-%d", maxRuns), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := Experiment{
+					A:       func(seed uint64) (float64, error) { return 1, nil },
+					B:       func(seed uint64) (float64, error) { return 0, nil },
+					Seed:    uint64(i + 1),
+					MaxRuns: maxRuns,
+				}
+				res, err := e.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.EarlyStopped {
+					b.Fatal("expected early stop")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiDatasetCollection contrasts the concurrent multi-dataset
+// engine against per-dataset cost: 4 datasets whose pipelines sleep-free
+// compute keeps the benchmark deterministic; wall-clock gains show up once
+// RunFuncs do real work.
+func BenchmarkMultiDatasetCollection(b *testing.B) {
+	datasets := []Dataset{
+		{Name: "d1", A: noisyRunner(0.9), B: noisyRunner(0.6)},
+		{Name: "d2", A: noisyRunner(0.8), B: noisyRunner(0.5)},
+		{Name: "d3", A: noisyRunner(0.7), B: noisyRunner(0.4)},
+		{Name: "d4", A: noisyRunner(0.6), B: noisyRunner(0.3)},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := Experiment{Datasets: datasets, Seed: uint64(i + 1), MaxRuns: 24}
+		if _, err := e.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

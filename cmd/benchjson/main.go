@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// trajectories (BENCH_N.json) across PRs.
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Every benchmark line becomes one entry; all reported metrics (ns/op,
+// B/op, allocs/op and custom b.ReportMetric units) are kept as a
+// unit-keyed map. Non-benchmark lines (goos/pkg headers, PASS/ok) are
+// collected into context fields when recognized and otherwise ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8  1234  5678 ns/op  90 B/op  1 allocs/op  0.95 custom-unit
+//
+// into its name, iteration count and unit-keyed metric map.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		// The name is kept verbatim, including any -GOMAXPROCS suffix:
+		// go test omits that suffix at GOMAXPROCS=1, so stripping it
+		// cannot be distinguished from eating a numeric name segment.
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

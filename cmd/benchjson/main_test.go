@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: varbench/internal/stats
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPairedBootstrapK1000/serial-legacy-8         	    5744	    197645 ns/op	    8672 B/op	       2 allocs/op
+BenchmarkCollectionLazyTrials/maxruns-1048576-8       	      50	     71723 ns/op	   20688 B/op	     165 allocs/op
+BenchmarkFig1VarianceSources-8                        	       3	 400000000 ns/op	         0.0123 bootstrap-std
+PASS
+ok  	varbench/internal/stats	6.114s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU == "" {
+		t.Errorf("context fields wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkPairedBootstrapK1000/serial-legacy-8" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Package != "varbench/internal/stats" || b.Iterations != 5744 {
+		t.Errorf("bookkeeping wrong: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 197645 || b.Metrics["B/op"] != 8672 || b.Metrics["allocs/op"] != 2 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	// Names are kept verbatim: at GOMAXPROCS=1 go test appends no
+	// suffix, so a numeric tail is indistinguishable from a name segment.
+	if got := rep.Benchmarks[1].Name; got != "BenchmarkCollectionLazyTrials/maxruns-1048576-8" {
+		t.Errorf("name not verbatim: %q", got)
+	}
+	// Custom b.ReportMetric units survive.
+	if rep.Benchmarks[2].Metrics["bootstrap-std"] != 0.0123 {
+		t.Errorf("custom metric lost: %v", rep.Benchmarks[2].Metrics)
+	}
+}

@@ -6,10 +6,13 @@ import (
 	"sync"
 )
 
-// The collection engine: a bounded worker pool executing trials whose seeds
-// were fixed ahead of time, writing each score to its trial's slot. Workers
-// never share mutable state beyond disjoint slice elements, so the output
-// is identical at any parallelism. Cancellation is observed between runs; a
+// The collection engine: a bounded worker pool executing one batch of
+// trials at a time, writing each score to its trial's slot. Batches are
+// streamed from a lazy trialStream whose seeds depend only on (Seed,
+// dataset, trial index), fixed before any trial is dispatched, so workers
+// never share mutable state beyond disjoint slice elements and the output
+// is identical at any parallelism. Multi-dataset experiments run one such
+// pool per dataset concurrently. Cancellation is observed between runs; a
 // run already started is allowed to finish.
 
 // collectPairs measures one batch of paired trials: trial i feeds both

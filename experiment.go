@@ -3,6 +3,7 @@ package varbench
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"varbench/internal/stats"
@@ -130,8 +131,16 @@ type Experiment struct {
 	// BatchSize ≥ Parallelism to use the full worker pool.
 	BatchSize int
 	// Parallelism is the collection worker-pool size (default GOMAXPROCS).
-	// Effective concurrency is additionally bounded by BatchSize.
+	// Effective concurrency is additionally bounded by BatchSize. In a
+	// multi-dataset experiment the datasets are collected concurrently,
+	// each with its own pool, so up to len(Datasets)·min(Parallelism,
+	// BatchSize) trials may be in flight at once.
 	Parallelism int
+	// AnalysisParallelism is the worker-pool size of the sharded bootstrap
+	// behind every confidence-interval computation (default GOMAXPROCS).
+	// Shard boundaries and RNG streams depend only on (Seed, Bootstrap),
+	// so results are bit-identical at any setting.
+	AnalysisParallelism int
 	// EarlyStop selects the stopping policy (default EarlyStopAuto).
 	EarlyStop EarlyStopPolicy
 
@@ -140,6 +149,10 @@ type Experiment struct {
 	Unpaired bool
 
 	// Progress, when set, is invoked after every collected batch.
+	// Invocations are never concurrent: multi-dataset runs collect
+	// datasets in parallel but funnel every callback through a single
+	// delivery goroutine, so batches from different datasets interleave
+	// in completion order while the callback itself stays single-threaded.
 	Progress func(Progress)
 
 	// The set flags distinguish an explicit zero passed through an Option
@@ -190,16 +203,63 @@ func (e Experiment) Run(ctx context.Context) (*Result, error) {
 
 	// Multi-dataset: judge each dataset at the Bonferroni-adjusted
 	// threshold, then combine the evidence through combineEvidence.
-	// Datasets are collected sequentially by design: each batch already
-	// saturates the worker pool, and a serial loop keeps the Progress
-	// callback free of concurrent invocations.
+	// Datasets are collected concurrently — every dataset derives its
+	// seeds from its own (Seed, name)-keyed root, so scheduling cannot
+	// perturb any per-dataset result — and a single delivery goroutine
+	// serializes Progress callbacks, so user callbacks never run
+	// concurrently even though collection does.
 	adjGamma := stats.GammaBonferroni(cfg.Gamma, 0.05, len(datasets))
+	runCfg := *cfg
+	var progCh chan Progress
+	var progWG sync.WaitGroup
+	if cfg.Progress != nil {
+		progCh = make(chan Progress, len(datasets))
+		progWG.Add(1)
+		go func() {
+			defer progWG.Done()
+			for p := range progCh {
+				cfg.Progress(p)
+			}
+		}()
+		runCfg.Progress = func(p Progress) { progCh <- p }
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	drs := make([]*DatasetResult, len(datasets))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, ds := range datasets {
+		wg.Add(1)
+		go func(i int, ds Dataset) {
+			defer wg.Done()
+			dr, err := runCfg.runDataset(ctx, ds, adjGamma)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+				return
+			}
+			drs[i] = dr
+		}(i, ds)
+	}
+	wg.Wait()
+	if progCh != nil {
+		close(progCh)
+		progWG.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
 	earlyAll := true
-	for _, ds := range datasets {
-		dr, err := cfg.runDataset(ctx, ds, adjGamma)
-		if err != nil {
-			return nil, err
-		}
+	for _, dr := range drs {
 		res.Datasets = append(res.Datasets, *dr)
 		res.Pairs += dr.Pairs
 		res.Runs += 2 * dr.Pairs
@@ -235,11 +295,14 @@ func (e Experiment) Collect(ctx context.Context) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	trials := cfg.makeTrials("")
-	out := make([]float64, cfg.MaxRuns)
+	stream := cfg.trialStream("")
+	batch := make([]Trial, 0, cfg.BatchSize)
+	var out []float64
 	for lo := 0; lo < cfg.MaxRuns; lo += cfg.BatchSize {
 		hi := min(lo+cfg.BatchSize, cfg.MaxRuns)
-		if err := collectRuns(ctx, run, trials[lo:hi], out[lo:hi], cfg.Parallelism); err != nil {
+		batch = stream.take(batch[:0], hi-lo)
+		out = append(out, make([]float64, hi-lo)...)
+		if err := collectRuns(ctx, run, batch, out[lo:hi], cfg.Parallelism); err != nil {
 			return nil, err
 		}
 		if cfg.Progress != nil {
@@ -333,8 +396,16 @@ func pickRunner(tf TrialFunc, rf RunFunc, which string) (TrialFunc, error) {
 
 // runDataset collects one dataset's paired measurements in batches,
 // early-stopping per the policy, and evaluates the recommended test at the
-// meaningfulness threshold gamma.
+// meaningfulness threshold gamma. Trials and score buffers grow one batch
+// at a time: memory tracks the pairs actually collected, never the MaxRuns
+// cap, which matters when γ near 0.5 drives Noether's N — the MaxRuns
+// default — enormous while early stopping ends after a few batches.
 func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) (*DatasetResult, error) {
+	// gamma may be the Bonferroni-adjusted threshold rather than the
+	// user-validated Gamma field; re-validate at the point of consumption.
+	if gamma <= 0.5 || gamma >= 1 {
+		return nil, fmt.Errorf("varbench: adjusted γ = %v out of (0.5, 1)", gamma)
+	}
 	runA, err := pickRunner(ds.ATrial, ds.A, "A")
 	if err != nil {
 		return nil, err
@@ -343,18 +414,19 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 	if err != nil {
 		return nil, err
 	}
-	trials := e.makeTrials(ds.Name)
+	stream := e.trialStream(ds.Name)
 	label := ""
 	if ds.Name != "" {
 		label = "dataset " + ds.Name + ": "
 	}
-	outA := make([]float64, e.MaxRuns)
-	outB := make([]float64, e.MaxRuns)
+	var outA, outB []float64
+	batch := make([]Trial, 0, e.BatchSize)
 	proto := protocol{
 		gamma:     gamma,
 		level:     e.Confidence,
 		bootstrap: e.Bootstrap,
 		seed:      xrand.New(e.datasetRoot(ds.Name)).Split("analysis/bootstrap").Uint64(),
+		workers:   e.AnalysisParallelism,
 	}
 	recommended := stats.NoetherSampleSize(gamma, 0.05, 0.05)
 
@@ -363,7 +435,10 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 	n := 0
 	for lo := 0; lo < e.MaxRuns && stop == ""; lo += e.BatchSize {
 		hi := min(lo+e.BatchSize, e.MaxRuns)
-		if err := collectPairs(ctx, label, runA, runB, trials[lo:hi], outA[lo:hi], outB[lo:hi], e.Parallelism); err != nil {
+		batch = stream.take(batch[:0], hi-lo)
+		outA = append(outA, make([]float64, hi-lo)...)
+		outB = append(outB, make([]float64, hi-lo)...)
+		if err := collectPairs(ctx, label, runA, runB, batch, outA[lo:hi], outB[lo:hi], e.Parallelism); err != nil {
 			return nil, err
 		}
 		n = hi
@@ -425,10 +500,26 @@ func (e *Experiment) datasetRoot(name string) uint64 {
 	return xrand.New(e.Seed).Split("dataset/" + name).Uint64()
 }
 
-// makeTrials precomputes the full seed assignment of every trial. Seeds
-// depend only on (Seed, dataset name, trial index), never on worker
-// scheduling, which is what makes results parallelism-invariant.
-func (e *Experiment) makeTrials(dataset string) []Trial {
+// A trialStream lazily derives the seed assignment of one trial at a time.
+// Seeds depend only on (Seed, dataset name, trial index), never on worker
+// scheduling, which is what makes results parallelism-invariant — and the
+// stream draws them in exactly the order the historical eager makeTrials
+// did, so the sequence is pinned bit-for-bit (see
+// TestTrialStreamMatchesHistoricalSeeds). Streaming means an experiment
+// whose MaxRuns is huge (γ near 0.5 makes Noether's N explode) allocates
+// trials per batch, not MaxRuns Trial structs plus one seed map each before
+// the first measurement.
+type trialStream struct {
+	root      *xrand.Source
+	entries   []Source
+	varied    map[Source]bool
+	fixed     map[Source]uint64
+	fixedRoot uint64
+	next      int // index of the next trial to derive
+}
+
+// trialStream prepares the lazy per-trial seed derivation for one dataset.
+func (e *Experiment) trialStream(dataset string) *trialStream {
 	root := xrand.New(e.datasetRoot(dataset))
 
 	varied := make(map[Source]bool)
@@ -467,23 +558,42 @@ func (e *Experiment) makeTrials(dataset string) []Trial {
 			fixed[s] = root.Split("fixed/" + string(s)).Uint64()
 		}
 	}
+	return &trialStream{
+		root:      root,
+		entries:   entries,
+		varied:    varied,
+		fixed:     fixed,
+		fixedRoot: fixedRoot,
+	}
+}
 
-	trials := make([]Trial, e.MaxRuns)
-	for i := range trials {
-		seed := root.Uint64()
+// take appends the next n trials of the stream to dst and returns it.
+// Callers reuse dst across batches (dst[:0]) so the Trial headers are
+// allocated once per batch, not once per MaxRuns.
+func (s *trialStream) take(dst []Trial, n int) []Trial {
+	for ; n > 0; n-- {
+		seed := s.root.Uint64()
 		tr := xrand.New(seed)
-		seeds := make(map[Source]uint64, len(entries))
-		for _, s := range entries {
-			if varied[s] {
+		seeds := make(map[Source]uint64, len(s.entries))
+		for _, src := range s.entries {
+			if s.varied[src] {
 				// Same derivation as xrand.NewStreams(seed), so plain
 				// RunFunc pipelines built on NewStreams agree with
 				// SourceSeed for every varied source.
-				seeds[s] = tr.Split(string(s)).Uint64()
+				seeds[src] = tr.Split(string(src)).Uint64()
 			} else {
-				seeds[s] = fixed[s]
+				seeds[src] = s.fixed[src]
 			}
 		}
-		trials[i] = Trial{Index: i, Seed: seed, seeds: seeds, fixedRoot: fixedRoot}
+		dst = append(dst, Trial{Index: s.next, Seed: seed, seeds: seeds, fixedRoot: s.fixedRoot})
+		s.next++
 	}
-	return trials
+	return dst
+}
+
+// makeTrials eagerly materializes the full MaxRuns seed assignment. It is
+// the historical eager path, kept for the deprecated CollectPaired wrapper
+// and as the reference the lazy stream is pinned against.
+func (e *Experiment) makeTrials(dataset string) []Trial {
+	return e.trialStream(dataset).take(make([]Trial, 0, e.MaxRuns), e.MaxRuns)
 }

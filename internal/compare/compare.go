@@ -172,25 +172,24 @@ type Result struct {
 	Decision Decision
 }
 
-// Evaluate runs the complete Appendix C protocol on paired measures.
-func (c PAB) Evaluate(pairs []stats.Pair, r *xrand.Source) (Result, error) {
-	if len(pairs) < 2 {
-		return Result{}, fmt.Errorf("compare: need ≥ 2 pairs, got %d", len(pairs))
-	}
-	stat := func(p []stats.Pair) float64 {
-		wins := 0.0
-		for _, pr := range p {
-			switch {
-			case pr.A > pr.B:
-				wins++
-			case pr.A == pr.B:
-				wins += 0.5
-			}
+// pabStat is the plug-in estimator of P(A>B) over paired measures
+// (Equation 9): the fraction of pairs A wins, ties counted half. It is a
+// pure function, safe for concurrent bootstrap resampling.
+func pabStat(p []stats.Pair) float64 {
+	wins := 0.0
+	for _, pr := range p {
+		switch {
+		case pr.A > pr.B:
+			wins++
+		case pr.A == pr.B:
+			wins += 0.5
 		}
-		return wins / float64(len(p))
 	}
-	point := stat(pairs)
-	ci := stats.PairedPercentileBootstrap(pairs, stat, c.boots(), c.level(), r)
+	return wins / float64(len(p))
+}
+
+// decide applies the three-zone decision rule of Appendix C.6.
+func (c PAB) decide(point float64, ci stats.CI) Result {
 	res := Result{PAB: point, CI: ci, Gamma: c.gamma()}
 	switch {
 	case ci.Lo <= 0.5:
@@ -200,7 +199,31 @@ func (c PAB) Evaluate(pairs []stats.Pair, r *xrand.Source) (Result, error) {
 	default:
 		res.Decision = SignificantAndMeaningful
 	}
-	return res, nil
+	return res
+}
+
+// Evaluate runs the complete Appendix C protocol on paired measures.
+func (c PAB) Evaluate(pairs []stats.Pair, r *xrand.Source) (Result, error) {
+	if len(pairs) < 2 {
+		return Result{}, fmt.Errorf("compare: need ≥ 2 pairs, got %d", len(pairs))
+	}
+	point := pabStat(pairs)
+	ci := stats.PairedPercentileBootstrap(pairs, pabStat, c.boots(), c.level(), r)
+	return c.decide(point, ci), nil
+}
+
+// EvaluateSharded is Evaluate with the bootstrap resampling sharded across
+// `workers` goroutines. It draws its randomness from seed instead of a
+// caller-owned stream: shard boundaries and per-shard RNG streams depend
+// only on (seed, Bootstrap), so the result is bit-identical at any worker
+// count — including workers ≤ 1, the serial reference.
+func (c PAB) EvaluateSharded(pairs []stats.Pair, seed uint64, workers int) (Result, error) {
+	if len(pairs) < 2 {
+		return Result{}, fmt.Errorf("compare: need ≥ 2 pairs, got %d", len(pairs))
+	}
+	point := pabStat(pairs)
+	ci := stats.PairedPercentileBootstrapSharded(pairs, pabStat, c.boots(), c.level(), seed, workers)
+	return c.decide(point, ci), nil
 }
 
 // Detects implements Criterion.
@@ -238,20 +261,21 @@ func (c PAB) EvaluateUnpaired(a, b []float64, r *xrand.Source) (Result, error) {
 	}
 	lo := stats.Quantile(vals, (1-c.level())/2)
 	hi := stats.Quantile(vals, 1-(1-c.level())/2)
-	res := Result{
-		PAB:   point,
-		CI:    stats.CI{Lo: lo, Hi: hi, Level: c.level()},
-		Gamma: c.gamma(),
+	return c.decide(point, stats.CI{Lo: lo, Hi: hi, Level: c.level()}), nil
+}
+
+// EvaluateUnpairedSharded is EvaluateUnpaired with the two-sample bootstrap
+// sharded across `workers` goroutines, seeded like EvaluateSharded.
+func (c PAB) EvaluateUnpairedSharded(a, b []float64, seed uint64, workers int) (Result, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return Result{}, fmt.Errorf("compare: need ≥ 2 measures per algorithm")
 	}
-	switch {
-	case lo <= 0.5:
-		res.Decision = NotSignificant
-	case hi <= c.gamma():
-		res.Decision = SignificantNotMeaningful
-	default:
-		res.Decision = SignificantAndMeaningful
+	point := stats.MannWhitney(a, b, stats.TwoTailed).PAB
+	mwPAB := func(x, y []float64) float64 {
+		return stats.MannWhitney(x, y, stats.TwoTailed).PAB
 	}
-	return res, nil
+	ci := stats.TwoSampleBootstrapSharded(a, b, mwPAB, c.boots(), c.level(), seed, workers)
+	return c.decide(point, ci), nil
 }
 
 // Oracle detects with perfect knowledge of the measurement noise: a z-test

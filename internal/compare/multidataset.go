@@ -54,6 +54,9 @@ func AcrossDatasetsCrit(datasets []DatasetPairs, crit PAB, alpha float64, r *xra
 		return MultiResult{}, fmt.Errorf("compare: no datasets")
 	}
 	adjGamma := stats.GammaBonferroni(crit.gamma(), alpha, len(datasets))
+	if err := validAdjustedGamma(adjGamma); err != nil {
+		return MultiResult{}, err
+	}
 	res := MultiResult{AllMeaningful: true}
 	meansA := make([]float64, 0, len(datasets))
 	meansB := make([]float64, 0, len(datasets))
@@ -69,19 +72,72 @@ func AcrossDatasetsCrit(datasets []DatasetPairs, crit PAB, alpha float64, r *xra
 		if out.Decision != SignificantAndMeaningful {
 			res.AllMeaningful = false
 		}
-		var ma, mb float64
-		for _, p := range ds.Pairs {
-			ma += p.A
-			mb += p.B
-		}
-		meansA = append(meansA, ma/float64(len(ds.Pairs)))
-		meansB = append(meansB, mb/float64(len(ds.Pairs)))
+		appendMeans(&meansA, &meansB, ds.Pairs)
 	}
-	if len(datasets) >= 3 {
-		res.WilcoxonP = stats.WilcoxonSignedRank(meansA, meansB, stats.GreaterTailed).PValue
-	} else {
-		// Demšar's test is meaningless below 3 datasets; report 1.
-		res.WilcoxonP = 1
-	}
+	res.WilcoxonP = wilcoxonAcross(meansA, meansB)
 	return res, nil
+}
+
+// AcrossDatasetsSharded is AcrossDatasetsCrit with the per-dataset bootstrap
+// sharded across `workers` goroutines. Each dataset's resampling stream is
+// derived from (seed, dataset name) alone, so the outcome is independent of
+// both the worker count and the dataset evaluation order.
+func AcrossDatasetsSharded(datasets []DatasetPairs, crit PAB, alpha float64, seed uint64, workers int) (MultiResult, error) {
+	if len(datasets) == 0 {
+		return MultiResult{}, fmt.Errorf("compare: no datasets")
+	}
+	adjGamma := stats.GammaBonferroni(crit.gamma(), alpha, len(datasets))
+	if err := validAdjustedGamma(adjGamma); err != nil {
+		return MultiResult{}, err
+	}
+	root := xrand.New(seed)
+	res := MultiResult{AllMeaningful: true}
+	meansA := make([]float64, 0, len(datasets))
+	meansB := make([]float64, 0, len(datasets))
+	for _, ds := range datasets {
+		crit := PAB{Gamma: adjGamma, Level: crit.Level, Bootstrap: crit.Bootstrap}
+		dsSeed := root.Split("dataset/" + ds.Name).Uint64()
+		out, err := crit.EvaluateSharded(ds.Pairs, dsSeed, workers)
+		if err != nil {
+			return MultiResult{}, fmt.Errorf("compare: dataset %s: %w", ds.Name, err)
+		}
+		res.PerDataset = append(res.PerDataset, DatasetOutcome{
+			Dataset: ds.Name, Result: out, AdjustedGamma: adjGamma,
+		})
+		if out.Decision != SignificantAndMeaningful {
+			res.AllMeaningful = false
+		}
+		appendMeans(&meansA, &meansB, ds.Pairs)
+	}
+	res.WilcoxonP = wilcoxonAcross(meansA, meansB)
+	return res, nil
+}
+
+// validAdjustedGamma guards the threshold the decision rule consumes: the
+// Bonferroni adjustment saturates at stats.GammaMax < 1, and anything at or
+// beyond 1 would make "significant and meaningful" unreachable.
+func validAdjustedGamma(g float64) error {
+	if g <= 0.5 || g >= 1 {
+		return fmt.Errorf("compare: adjusted γ = %v out of (0.5, 1)", g)
+	}
+	return nil
+}
+
+func appendMeans(meansA, meansB *[]float64, pairs []stats.Pair) {
+	var ma, mb float64
+	for _, p := range pairs {
+		ma += p.A
+		mb += p.B
+	}
+	*meansA = append(*meansA, ma/float64(len(pairs)))
+	*meansB = append(*meansB, mb/float64(len(pairs)))
+}
+
+// wilcoxonAcross is Demšar's one-sided signed-rank test over per-dataset
+// means; meaningless below 3 datasets, where it reports 1.
+func wilcoxonAcross(meansA, meansB []float64) float64 {
+	if len(meansA) < 3 {
+		return 1
+	}
+	return stats.WilcoxonSignedRank(meansA, meansB, stats.GreaterTailed).PValue
 }

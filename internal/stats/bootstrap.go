@@ -2,7 +2,6 @@ package stats
 
 import (
 	"math"
-	"sort"
 
 	"varbench/internal/xrand"
 )
@@ -32,13 +31,7 @@ func PercentileBootstrap(x []float64, statistic func([]float64) float64,
 		}
 		vals[b] = statistic(buf)
 	}
-	sort.Float64s(vals)
-	alpha := 1 - level
-	return CI{
-		Lo:    quantileSorted(vals, alpha/2),
-		Hi:    quantileSorted(vals, 1-alpha/2),
-		Level: level,
-	}
+	return percentileCI(vals, level)
 }
 
 // Pair is one paired performance measurement of two algorithms on the same
@@ -61,13 +54,7 @@ func PairedPercentileBootstrap(pairs []Pair, statistic func([]Pair) float64,
 		}
 		vals[b] = statistic(buf)
 	}
-	sort.Float64s(vals)
-	alpha := 1 - level
-	return CI{
-		Lo:    quantileSorted(vals, alpha/2),
-		Hi:    quantileSorted(vals, 1-alpha/2),
-		Level: level,
-	}
+	return percentileCI(vals, level)
 }
 
 // NormalCI returns the normal-approximation interval

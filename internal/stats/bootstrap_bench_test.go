@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"varbench/internal/xrand"
+)
+
+// The bootstrap benchmarks pin the protocol's hot loop at the paper's
+// recommended operating point: K=1000 resamples of n=29 pairs (Noether's N
+// for γ=0.75). The serial-legacy case is the pre-sharding single-stream
+// engine; the sharded cases must match it within noise at workers=1 and
+// beat it ≥2x at 4+ cores.
+
+func benchPairs(n int) []Pair {
+	r := xrand.New(6)
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		base := r.NormFloat64()
+		pairs[i] = Pair{A: base + 0.5, B: base + 0.3*r.NormFloat64()}
+	}
+	return pairs
+}
+
+func benchPAB(p []Pair) float64 {
+	wins := 0.0
+	for _, pr := range p {
+		switch {
+		case pr.A > pr.B:
+			wins++
+		case pr.A == pr.B:
+			wins += 0.5
+		}
+	}
+	return wins / float64(len(p))
+}
+
+func BenchmarkPairedBootstrapK1000(b *testing.B) {
+	pairs := benchPairs(29)
+	b.Run("serial-legacy", func(b *testing.B) {
+		r := xrand.New(9)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			PairedPercentileBootstrap(pairs, benchPAB, 1000, 0.95, r)
+		}
+	})
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("sharded-workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				PairedPercentileBootstrapSharded(pairs, benchPAB, 1000, 0.95, 9, w)
+			}
+		})
+	}
+}
+
+func BenchmarkTwoSampleBootstrapK1000(b *testing.B) {
+	r := xrand.New(3)
+	a := make([]float64, 29)
+	c := make([]float64, 29)
+	for i := range a {
+		a[i] = r.NormFloat64() + 0.5
+		c[i] = r.NormFloat64()
+	}
+	stat := func(x, y []float64) float64 { return MannWhitney(x, y, TwoTailed).PAB }
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TwoSampleBootstrapSharded(a, c, stat, 1000, 0.95, 9, w)
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"varbench/internal/xrand"
+)
+
+// The sharded bootstrap: the K resamples are partitioned into shards whose
+// boundaries and RNG streams depend only on (seed, K) — never on the worker
+// count or on scheduling — so the resampled statistics, and therefore the
+// confidence interval, are bit-identical at any parallelism. Each worker
+// reuses one resample buffer across all the shards it processes, so the
+// allocation cost is O(workers·n), not O(K·n).
+
+// maxBootstrapShards bounds the shard count. 64 shards keep the work queue
+// balanced for any plausible worker count while each shard still amortizes
+// its RNG setup over many resamples at the recommended K=1000.
+const maxBootstrapShards = 64
+
+// BootstrapShards returns the number of shards the sharded bootstrap splits
+// k resamples into. It is a pure function of k, which is what pins shard
+// boundaries independently of the worker count.
+func BootstrapShards(k int) int {
+	if k < maxBootstrapShards {
+		return k
+	}
+	return maxBootstrapShards
+}
+
+// bootstrapShard is one unit of sharded resampling work: fill vals[Lo:Hi)
+// drawing only from R.
+type bootstrapShard struct {
+	Lo, Hi int
+	R      *xrand.Source
+}
+
+// forEachShard partitions k resamples into BootstrapShards(k) shards, each
+// with its own RNG stream derived from (seed, shard index), and feeds them
+// to `workers` concurrent copies of worker (one synchronous call when
+// workers ≤ 1). Shards cover disjoint index ranges, so workers writing
+// vals[Lo:Hi) never contend.
+func forEachShard(k int, seed uint64, workers int, worker func(<-chan bootstrapShard)) {
+	nShards := BootstrapShards(k)
+	root := xrand.New(seed)
+	ch := make(chan bootstrapShard, nShards)
+	for s := 0; s < nShards; s++ {
+		ch <- bootstrapShard{
+			Lo: s * k / nShards,
+			Hi: (s + 1) * k / nShards,
+			R:  root.Split("bootstrap/shard/" + strconv.Itoa(s)),
+		}
+	}
+	close(ch)
+	if workers > nShards {
+		workers = nShards
+	}
+	if workers <= 1 {
+		worker(ch)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(ch)
+		}()
+	}
+	wg.Wait()
+}
+
+// percentileCI sorts the resampled statistics and reads off the two-sided
+// percentile interval.
+func percentileCI(vals []float64, level float64) CI {
+	sort.Float64s(vals)
+	alpha := 1 - level
+	return CI{
+		Lo:    quantileSorted(vals, alpha/2),
+		Hi:    quantileSorted(vals, 1-alpha/2),
+		Level: level,
+	}
+}
+
+// PercentileBootstrapSharded is PercentileBootstrap with the resampling
+// sharded across `workers` goroutines. Results depend only on (x, statistic,
+// k, level, seed): any worker count, including 1, produces bit-identical
+// intervals. statistic must be safe for concurrent calls on distinct
+// buffers (a pure function of its argument, as every statistic here is).
+func PercentileBootstrapSharded(x []float64, statistic func([]float64) float64,
+	k int, level float64, seed uint64, workers int) CI {
+	n := len(x)
+	vals := make([]float64, k)
+	forEachShard(k, seed, workers, func(shards <-chan bootstrapShard) {
+		buf := make([]float64, n)
+		for sh := range shards {
+			for b := sh.Lo; b < sh.Hi; b++ {
+				for i := range buf {
+					buf[i] = x[sh.R.Intn(n)]
+				}
+				vals[b] = statistic(buf)
+			}
+		}
+	})
+	return percentileCI(vals, level)
+}
+
+// PairedPercentileBootstrapSharded is PairedPercentileBootstrap with the
+// resampling sharded across `workers` goroutines; see
+// PercentileBootstrapSharded for the determinism contract.
+func PairedPercentileBootstrapSharded(pairs []Pair, statistic func([]Pair) float64,
+	k int, level float64, seed uint64, workers int) CI {
+	n := len(pairs)
+	vals := make([]float64, k)
+	forEachShard(k, seed, workers, func(shards <-chan bootstrapShard) {
+		buf := make([]Pair, n)
+		for sh := range shards {
+			for b := sh.Lo; b < sh.Hi; b++ {
+				for i := range buf {
+					buf[i] = pairs[sh.R.Intn(n)]
+				}
+				vals[b] = statistic(buf)
+			}
+		}
+	})
+	return percentileCI(vals, level)
+}
+
+// TwoSampleBootstrapSharded bootstraps two unpaired samples independently —
+// each resample redraws both a and b with replacement — and returns the
+// sharded percentile CI of statistic(a*, b*). This is the engine behind the
+// unpaired (Mann-Whitney) variant of the recommended test.
+func TwoSampleBootstrapSharded(a, b []float64, statistic func(a, b []float64) float64,
+	k int, level float64, seed uint64, workers int) CI {
+	vals := make([]float64, k)
+	forEachShard(k, seed, workers, func(shards <-chan bootstrapShard) {
+		bufA := make([]float64, len(a))
+		bufB := make([]float64, len(b))
+		for sh := range shards {
+			for i := sh.Lo; i < sh.Hi; i++ {
+				for j := range bufA {
+					bufA[j] = a[sh.R.Intn(len(a))]
+				}
+				for j := range bufB {
+					bufB[j] = b[sh.R.Intn(len(b))]
+				}
+				vals[i] = statistic(bufA, bufB)
+			}
+		}
+	})
+	return percentileCI(vals, level)
+}

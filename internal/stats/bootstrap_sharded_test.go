@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"varbench/internal/xrand"
+)
+
+func shardedSample(n int, seed uint64) []float64 {
+	r := xrand.New(seed)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func TestBootstrapShardsPureInK(t *testing.T) {
+	for _, k := range []int{1, 2, 31, 64, 65, 1000, 4096} {
+		s := BootstrapShards(k)
+		if s < 1 || s > k || s > maxBootstrapShards {
+			t.Errorf("BootstrapShards(%d) = %d out of range", k, s)
+		}
+		if s != BootstrapShards(k) {
+			t.Errorf("BootstrapShards(%d) not deterministic", k)
+		}
+	}
+}
+
+func TestPercentileBootstrapShardedWorkerInvariance(t *testing.T) {
+	x := shardedSample(29, 3)
+	workerCounts := []int{1, 2, 3, 4, 7, 8, runtime.GOMAXPROCS(0), 100}
+	ref := PercentileBootstrapSharded(x, Mean, 1000, 0.95, 42, 1)
+	for _, w := range workerCounts {
+		ci := PercentileBootstrapSharded(x, Mean, 1000, 0.95, 42, w)
+		if ci != ref {
+			t.Errorf("workers=%d: CI %+v != serial reference %+v", w, ci, ref)
+		}
+	}
+	// Different seeds give different resamples.
+	other := PercentileBootstrapSharded(x, Mean, 1000, 0.95, 43, 4)
+	if other == ref {
+		t.Error("seed has no effect on the sharded bootstrap")
+	}
+	if ref.Lo > ref.Hi || ref.Level != 0.95 {
+		t.Errorf("malformed CI %+v", ref)
+	}
+}
+
+func TestPairedPercentileBootstrapShardedWorkerInvariance(t *testing.T) {
+	r := xrand.New(7)
+	pairs := make([]Pair, 29)
+	for i := range pairs {
+		base := r.NormFloat64()
+		pairs[i] = Pair{A: base + 1, B: base + 0.3*r.NormFloat64()}
+	}
+	stat := func(p []Pair) float64 {
+		wins := 0.0
+		for _, pr := range p {
+			if pr.A > pr.B {
+				wins++
+			}
+		}
+		return wins / float64(len(p))
+	}
+	ref := PairedPercentileBootstrapSharded(pairs, stat, 1000, 0.95, 9, 1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if ci := PairedPercentileBootstrapSharded(pairs, stat, 1000, 0.95, 9, w); ci != ref {
+			t.Errorf("workers=%d: CI %+v != serial reference %+v", w, ci, ref)
+		}
+	}
+	if ref.Lo <= 0.5 {
+		t.Errorf("CI.Lo = %v, want > 0.5 for dominated pairs", ref.Lo)
+	}
+	if ref.Hi > 1 || ref.Lo < 0 {
+		t.Errorf("CI out of [0,1]: %+v", ref)
+	}
+}
+
+func TestTwoSampleBootstrapShardedWorkerInvariance(t *testing.T) {
+	a := shardedSample(25, 1)
+	for i := range a {
+		a[i] += 1.5
+	}
+	b := shardedSample(20, 2)
+	meanDiff := func(x, y []float64) float64 { return Mean(x) - Mean(y) }
+	ref := TwoSampleBootstrapSharded(a, b, meanDiff, 800, 0.9, 5, 1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if ci := TwoSampleBootstrapSharded(a, b, meanDiff, 800, 0.9, 5, w); ci != ref {
+			t.Errorf("workers=%d: CI %+v != serial reference %+v", w, ci, ref)
+		}
+	}
+	if ref.Lo <= 0 {
+		t.Errorf("mean-difference CI should sit above 0: %+v", ref)
+	}
+}
+
+func TestPercentileBootstrapShardedCoversMean(t *testing.T) {
+	// Statistical sanity: the sharded engine is still a valid percentile
+	// bootstrap — a 95% CI for the mean covers the true mean ≈95% of the
+	// time.
+	r := xrand.New(21)
+	const reps = 150
+	hits := 0
+	for rep := 0; rep < reps; rep++ {
+		x := make([]float64, 40)
+		for i := range x {
+			x[i] = r.Normal(10, 2)
+		}
+		ci := PercentileBootstrapSharded(x, Mean, 500, 0.95, uint64(rep), 4)
+		if ci.Contains(10) {
+			hits++
+		}
+	}
+	rate := float64(hits) / reps
+	if rate < 0.88 || rate > 0.995 {
+		t.Errorf("sharded bootstrap CI coverage = %v, want ≈0.95", rate)
+	}
+}
+
+func TestGammaBonferroniSaturatesBelowOne(t *testing.T) {
+	// Regression: the adjustment used to clamp at exactly 1.0 for large m,
+	// which made "significant and meaningful" (CI.Hi > γ) and the
+	// CI-cleared early stop (CI.Lo > γ) unreachable — a bootstrap CI never
+	// exceeds 1.
+	for _, m := range []int{100, 10000, 1 << 30} {
+		g := GammaBonferroni(0.75, 0.05, m)
+		if g >= 1 {
+			t.Errorf("m=%d: adjusted γ = %v, must stay strictly below 1", m, g)
+		}
+		if g != GammaMax {
+			t.Errorf("m=%d: adjusted γ = %v, want saturation at GammaMax", m, g)
+		}
+	}
+	// Saturation is detectable and the sample-size relation stays finite.
+	if n := NoetherSampleSize(GammaMax, 0.05, 0.05); n <= 0 || n >= math.MaxInt32 {
+		t.Errorf("NoetherSampleSize(GammaMax) = %d degenerate", n)
+	}
+}

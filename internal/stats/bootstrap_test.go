@@ -74,8 +74,8 @@ func TestPairedPercentileBootstrapPAB(t *testing.T) {
 func TestNormalCI(t *testing.T) {
 	ci := NormalCI(0.8, 0.05, 0.95)
 	want := 1.959963984540054 * 0.05
-	close(t, "NormalCI lo", ci.Lo, 0.8-want, 1e-9)
-	close(t, "NormalCI hi", ci.Hi, 0.8+want, 1e-9)
+	approxEq(t, "NormalCI lo", ci.Lo, 0.8-want, 1e-9)
+	approxEq(t, "NormalCI hi", ci.Hi, 0.8+want, 1e-9)
 }
 
 func TestBootstrapStdOfMean(t *testing.T) {
@@ -126,8 +126,8 @@ func TestRegressionGolden(t *testing.T) {
 	x := []float64{1, 2, 3, 4, 5}
 	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1}
 	fit := LinearRegression(x, y)
-	close(t, "slope", fit.Slope, 2.01, 0.03)
-	close(t, "intercept", fit.Intercept, 0, 0.15)
+	approxEq(t, "slope", fit.Slope, 2.01, 0.03)
+	approxEq(t, "intercept", fit.Intercept, 0, 0.15)
 	if fit.R2 < 0.99 {
 		t.Errorf("R2 = %v, want > 0.99", fit.R2)
 	}
@@ -137,8 +137,8 @@ func TestRegressionThroughOrigin(t *testing.T) {
 	x := []float64{1, 2, 4}
 	y := []float64{2, 4, 8}
 	fit := RegressionThroughOrigin(x, y)
-	close(t, "slope", fit.Slope, 2, 1e-12)
-	close(t, "R2", fit.R2, 1, 1e-12)
+	approxEq(t, "slope", fit.Slope, 2, 1e-12)
+	approxEq(t, "R2", fit.R2, 1, 1e-12)
 }
 
 func TestCorrections(t *testing.T) {
@@ -151,13 +151,13 @@ func TestCorrections(t *testing.T) {
 	// Holm: sorted p = .005, .01, .03, .04 → adj = .02, .03, .06, .06.
 	wantHolm := []float64{0.03, 0.06, 0.06, 0.02}
 	for i := range wantHolm {
-		close(t, "Holm", holm[i], wantHolm[i], 1e-12)
+		approxEq(t, "Holm", holm[i], wantHolm[i], 1e-12)
 	}
 	bh := BenjaminiHochberg(p)
 	// BH: sorted .005,.01,.03,.04 → raw adj .02,.02,.04,.04 (monotone).
 	wantBH := []float64{0.02, 0.04, 0.04, 0.02}
 	for i := range wantBH {
-		close(t, "BH", bh[i], wantBH[i], 1e-12)
+		approxEq(t, "BH", bh[i], wantBH[i], 1e-12)
 	}
 	// Corrections never reduce p-values.
 	for i := range p {

@@ -10,9 +10,9 @@ import (
 
 func TestMeanVarianceStd(t *testing.T) {
 	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
-	close(t, "Mean", Mean(x), 5, 1e-12)
-	close(t, "Variance", Variance(x), 32.0/7, 1e-12) // sample variance
-	close(t, "Std", Std(x), math.Sqrt(32.0/7), 1e-12)
+	approxEq(t, "Mean", Mean(x), 5, 1e-12)
+	approxEq(t, "Variance", Variance(x), 32.0/7, 1e-12) // sample variance
+	approxEq(t, "Std", Std(x), math.Sqrt(32.0/7), 1e-12)
 	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
 		t.Error("degenerate inputs should give NaN")
 	}
@@ -20,12 +20,12 @@ func TestMeanVarianceStd(t *testing.T) {
 
 func TestQuantileMedian(t *testing.T) {
 	x := []float64{1, 2, 3, 4}
-	close(t, "Median", Median(x), 2.5, 1e-12)
-	close(t, "Q0", Quantile(x, 0), 1, 0)
-	close(t, "Q1", Quantile(x, 1), 4, 0)
-	close(t, "Q.25", Quantile(x, 0.25), 1.75, 1e-12)
+	approxEq(t, "Median", Median(x), 2.5, 1e-12)
+	approxEq(t, "Q0", Quantile(x, 0), 1, 0)
+	approxEq(t, "Q1", Quantile(x, 1), 4, 0)
+	approxEq(t, "Q.25", Quantile(x, 0.25), 1.75, 1e-12)
 	// Unsorted input must give the same answer.
-	close(t, "unsorted", Quantile([]float64{4, 1, 3, 2}, 0.25), 1.75, 1e-12)
+	approxEq(t, "unsorted", Quantile([]float64{4, 1, 3, 2}, 0.25), 1.75, 1e-12)
 }
 
 func TestQuantileMonotoneProperty(t *testing.T) {
@@ -54,10 +54,10 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 func TestCovarianceCorrelation(t *testing.T) {
 	x := []float64{1, 2, 3, 4, 5}
 	y := []float64{2, 4, 6, 8, 10}
-	close(t, "PearsonCorr perfect", PearsonCorr(x, y), 1, 1e-12)
+	approxEq(t, "PearsonCorr perfect", PearsonCorr(x, y), 1, 1e-12)
 	yneg := []float64{10, 8, 6, 4, 2}
-	close(t, "PearsonCorr anti", PearsonCorr(x, yneg), -1, 1e-12)
-	close(t, "Covariance", Covariance(x, y), 5, 1e-12)
+	approxEq(t, "PearsonCorr anti", PearsonCorr(x, yneg), -1, 1e-12)
+	approxEq(t, "Covariance", Covariance(x, y), 5, 1e-12)
 }
 
 func TestSpearmanIgnoresMonotoneTransform(t *testing.T) {
@@ -66,7 +66,7 @@ func TestSpearmanIgnoresMonotoneTransform(t *testing.T) {
 	for i, v := range x {
 		y[i] = math.Exp(v) // monotone, nonlinear
 	}
-	close(t, "Spearman", SpearmanCorr(x, y), 1, 1e-12)
+	approxEq(t, "Spearman", SpearmanCorr(x, y), 1, 1e-12)
 }
 
 func TestRanksWithTies(t *testing.T) {
@@ -100,7 +100,7 @@ func TestRanksSumProperty(t *testing.T) {
 }
 
 func TestStdOfStd(t *testing.T) {
-	close(t, "StdOfStd", StdOfStd(2, 51), 2/math.Sqrt(100), 1e-12)
+	approxEq(t, "StdOfStd", StdOfStd(2, 51), 2/math.Sqrt(100), 1e-12)
 	if !math.IsNaN(StdOfStd(1, 1)) {
 		t.Error("StdOfStd(n=1) should be NaN")
 	}
@@ -145,7 +145,7 @@ func TestMeanCorrelationSharedBias(t *testing.T) {
 
 func TestRhoFromVariances(t *testing.T) {
 	// If Var(μ̃) = σ²/k exactly (no correlation), ρ = 0.
-	close(t, "rho zero", RhoFromVariances(1.0/10, 1.0, 10), 0, 1e-12)
+	approxEq(t, "rho zero", RhoFromVariances(1.0/10, 1.0, 10), 0, 1e-12)
 	// If Var(μ̃) = σ² (full correlation), ρ = 1.
-	close(t, "rho one", RhoFromVariances(1.0, 1.0, 10), 1, 1e-12)
+	approxEq(t, "rho one", RhoFromVariances(1.0, 1.0, 10), 1, 1e-12)
 }

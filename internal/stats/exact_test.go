@@ -50,13 +50,13 @@ func TestMannWhitneyExactGolden(t *testing.T) {
 	x := []float64{1, 2}
 	y := []float64{3, 4}
 	res := MannWhitneyExact(x, y, LessTailed)
-	close(t, "exact p", res.PValue, 1.0/6, 1e-12)
+	approxEq(t, "exact p", res.PValue, 1.0/6, 1e-12)
 	// Two-sided doubles it.
 	res = MannWhitneyExact(x, y, TwoTailed)
-	close(t, "exact 2-sided p", res.PValue, 2.0/6, 1e-12)
+	approxEq(t, "exact 2-sided p", res.PValue, 2.0/6, 1e-12)
 	// Reversed direction.
 	res = MannWhitneyExact(y, x, GreaterTailed)
-	close(t, "exact reversed", res.PValue, 1.0/6, 1e-12)
+	approxEq(t, "exact reversed", res.PValue, 1.0/6, 1e-12)
 }
 
 func TestMannWhitneyExactMatchesApproxForModerateN(t *testing.T) {
@@ -102,14 +102,14 @@ func TestMannWhitneyExactFallsBackOnTies(t *testing.T) {
 func TestClopperPearsonGolden(t *testing.T) {
 	// Known values: k=8, n=10, 95% → [0.4439, 0.9748] (standard tables).
 	ci := ClopperPearson(8, 10, 0.95)
-	close(t, "CP lo", ci.Lo, 0.4439, 0.001)
-	close(t, "CP hi", ci.Hi, 0.9748, 0.001)
+	approxEq(t, "CP lo", ci.Lo, 0.4439, 0.001)
+	approxEq(t, "CP hi", ci.Hi, 0.9748, 0.001)
 	// Edge cases.
 	ci = ClopperPearson(0, 10, 0.95)
 	if ci.Lo != 0 {
 		t.Errorf("k=0 lower bound = %v", ci.Lo)
 	}
-	close(t, "CP k=0 hi", ci.Hi, 0.3085, 0.001)
+	approxEq(t, "CP k=0 hi", ci.Hi, 0.3085, 0.001)
 	ci = ClopperPearson(10, 10, 0.95)
 	if ci.Hi != 1 {
 		t.Errorf("k=n upper bound = %v", ci.Hi)
@@ -138,7 +138,7 @@ func TestCohensD(t *testing.T) {
 	b := []float64{1, 3, 5, 7}
 	d := CohensD(a, b)
 	// Means differ by 1, pooled sd = sqrt(20/3) ≈ 2.582 → d ≈ 0.387.
-	close(t, "Cohen's d", d, 1/math.Sqrt(20.0/3), 1e-12)
+	approxEq(t, "Cohen's d", d, 1/math.Sqrt(20.0/3), 1e-12)
 	if !math.IsNaN(CohensD([]float64{1}, b)) {
 		t.Error("tiny sample should give NaN")
 	}

@@ -72,11 +72,24 @@ func BenjaminiHochberg(p []float64) []float64 {
 	return out
 }
 
+// GammaMax is the saturation ceiling of GammaBonferroni: the largest
+// adjusted meaningfulness threshold it returns. It sits strictly below 1
+// because γ = 1 is a degenerate threshold — a bootstrap CI upper bound can
+// never exceed 1, so no comparison could ever be judged meaningful, the
+// CI-cleared early stop (CI.Lo > γ) would be unreachable, and Noether's
+// sample-size relation loses its meaning. An adjusted γ at GammaMax still
+// signals that the correction has saturated: P(A>B) must be essentially 1
+// to clear it.
+const GammaMax = 1 - 1e-9
+
 // GammaBonferroni raises the meaningfulness threshold γ of the
 // probability-of-outperforming test for m simultaneous comparisons, the
 // adjustment suggested in Section 6 for competitions with many contestants.
 // It tightens the per-comparison significance level α → α/m and converts the
 // tightened z threshold back to a γ threshold through Noether's relation.
+// The result saturates at GammaMax (strictly below 1) for large m, keeping
+// the three-zone decision rule well defined; callers comparing against
+// GammaMax can detect saturation explicitly.
 func GammaBonferroni(gamma, alpha float64, m int) float64 {
 	if m <= 1 {
 		return gamma
@@ -86,8 +99,8 @@ func GammaBonferroni(gamma, alpha float64, m int) float64 {
 	// demands: (½-γ')/(½-γ) = Φ⁻¹(1-α/m)/Φ⁻¹(1-α).
 	scale := NormQuantile(1-alpha/float64(m)) / NormQuantile(1-alpha)
 	g := 0.5 + (gamma-0.5)*scale
-	if g > 1 {
-		g = 1
+	if g > GammaMax {
+		g = GammaMax
 	}
 	return g
 }

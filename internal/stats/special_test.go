@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 )
 
-func close(t *testing.T, name string, got, want, tol float64) {
+func approxEq(t *testing.T, name string, got, want, tol float64) {
 	t.Helper()
 	if math.Abs(got-want) > tol {
 		t.Errorf("%s = %.12g, want %.12g (tol %g)", name, got, want, tol)
@@ -25,7 +25,7 @@ func TestNormCDFGolden(t *testing.T) {
 		{6, 0.9999999990134123},
 	}
 	for _, c := range cases {
-		close(t, "NormCDF", NormCDF(c.z), c.want, 1e-12)
+		approxEq(t, "NormCDF", NormCDF(c.z), c.want, 1e-12)
 	}
 }
 
@@ -40,7 +40,7 @@ func TestNormQuantileGolden(t *testing.T) {
 		{1e-10, -6.361340902404056},
 	}
 	for _, c := range cases {
-		close(t, "NormQuantile", NormQuantile(c.p), c.want, 1e-9)
+		approxEq(t, "NormQuantile", NormQuantile(c.p), c.want, 1e-9)
 	}
 	if !math.IsInf(NormQuantile(0), -1) || !math.IsInf(NormQuantile(1), 1) {
 		t.Error("NormQuantile endpoints wrong")
@@ -74,7 +74,7 @@ func TestRegIncBetaGolden(t *testing.T) {
 		{10, 10, 0.5, 0.5},
 	}
 	for _, c := range cases {
-		close(t, "RegIncBeta", RegIncBeta(c.a, c.b, c.x), c.want, 1e-10)
+		approxEq(t, "RegIncBeta", RegIncBeta(c.a, c.b, c.x), c.want, 1e-10)
 	}
 	if RegIncBeta(2, 2, 0) != 0 || RegIncBeta(2, 2, 1) != 1 {
 		t.Error("RegIncBeta endpoints wrong")
@@ -101,13 +101,13 @@ func TestRegIncGammaGolden(t *testing.T) {
 		{5, 10, 0.970747311923676},
 	}
 	for _, c := range cases {
-		close(t, "RegIncGammaLower", RegIncGammaLower(c.a, c.x), c.want, 1e-10)
+		approxEq(t, "RegIncGammaLower", RegIncGammaLower(c.a, c.x), c.want, 1e-10)
 	}
 }
 
 func TestLogChoose(t *testing.T) {
-	close(t, "LogChoose(5,2)", LogChoose(5, 2), math.Log(10), 1e-12)
-	close(t, "LogChoose(10,0)", LogChoose(10, 0), 0, 1e-12)
+	approxEq(t, "LogChoose(5,2)", LogChoose(5, 2), math.Log(10), 1e-12)
+	approxEq(t, "LogChoose(10,0)", LogChoose(10, 0), 0, 1e-12)
 	if !math.IsInf(LogChoose(3, 5), -1) {
 		t.Error("LogChoose(3,5) should be -Inf")
 	}
@@ -125,7 +125,7 @@ func TestStudentTGolden(t *testing.T) {
 		{30, -2.042272456301238, 0.025},
 	}
 	for _, c := range cases {
-		close(t, "StudentT.CDF", StudentT{Nu: c.nu}.CDF(c.t), c.want, 1e-9)
+		approxEq(t, "StudentT.CDF", StudentT{Nu: c.nu}.CDF(c.t), c.want, 1e-9)
 	}
 }
 
@@ -133,7 +133,7 @@ func TestStudentTQuantileInvertsCDF(t *testing.T) {
 	dist := StudentT{Nu: 7}
 	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
 		q := dist.Quantile(p)
-		close(t, "T quantile/cdf", dist.CDF(q), p, 1e-9)
+		approxEq(t, "T quantile/cdf", dist.CDF(q), p, 1e-9)
 	}
 }
 
@@ -141,7 +141,7 @@ func TestChiSquaredCDF(t *testing.T) {
 	// chi2(k=2) is Exp(1/2): CDF(x) = 1-exp(-x/2).
 	c := ChiSquared{K: 2}
 	for _, x := range []float64{0.5, 1, 2, 5} {
-		close(t, "ChiSquared.CDF", c.CDF(x), 1-math.Exp(-x/2), 1e-10)
+		approxEq(t, "ChiSquared.CDF", c.CDF(x), 1-math.Exp(-x/2), 1e-10)
 	}
 	if c.CDF(-1) != 0 {
 		t.Error("negative chi2 CDF should be 0")
@@ -150,10 +150,10 @@ func TestChiSquaredCDF(t *testing.T) {
 
 func TestBinomialGolden(t *testing.T) {
 	b := Binomial{N: 10, P: 0.5}
-	close(t, "Binomial.PMF(5)", b.PMF(5), 0.24609375, 1e-12)
-	close(t, "Binomial.CDF(5)", b.CDF(5), 0.623046875, 1e-10)
-	close(t, "Binomial.Mean", b.Mean(), 5, 0)
-	close(t, "Binomial.Std", b.Std(), math.Sqrt(2.5), 1e-12)
+	approxEq(t, "Binomial.PMF(5)", b.PMF(5), 0.24609375, 1e-12)
+	approxEq(t, "Binomial.CDF(5)", b.CDF(5), 0.623046875, 1e-10)
+	approxEq(t, "Binomial.Mean", b.Mean(), 5, 0)
+	approxEq(t, "Binomial.Std", b.Std(), math.Sqrt(2.5), 1e-12)
 	if b.PMF(-1) != 0 || b.PMF(11) != 0 {
 		t.Error("out-of-support PMF should be 0")
 	}
@@ -172,7 +172,7 @@ func TestBinomialPMFSumsToOne(t *testing.T) {
 	for k := 0; k <= 25; k++ {
 		sum += b.PMF(k)
 	}
-	close(t, "ΣPMF", sum, 1, 1e-10)
+	approxEq(t, "ΣPMF", sum, 1, 1e-10)
 }
 
 func TestBinomialCDFMatchesPMFSum(t *testing.T) {
@@ -212,7 +212,7 @@ func TestAccuracyStdModel(t *testing.T) {
 
 func TestNormalDistribution(t *testing.T) {
 	n := Normal{Mu: 3, Sigma: 2}
-	close(t, "Normal.CDF(3)", n.CDF(3), 0.5, 1e-12)
-	close(t, "Normal.Quantile(0.975)", n.Quantile(0.975), 3+2*1.959963984540054, 1e-8)
-	close(t, "Normal.PDF(3)", n.PDF(3), 1/(2*math.Sqrt(2*math.Pi)), 1e-12)
+	approxEq(t, "Normal.CDF(3)", n.CDF(3), 0.5, 1e-12)
+	approxEq(t, "Normal.Quantile(0.975)", n.Quantile(0.975), 3+2*1.959963984540054, 1e-8)
+	approxEq(t, "Normal.PDF(3)", n.PDF(3), 1/(2*math.Sqrt(2*math.Pi)), 1e-12)
 }

@@ -34,7 +34,7 @@ func TestZCriticalDifference(t *testing.T) {
 	// Section 3.1: z_{0.05}·sqrt((σA²+σB²)/k).
 	got := ZCriticalDifference(1, 1, 1, 0.05)
 	want := 1.6448536269514722 * math.Sqrt(2)
-	close(t, "ZCriticalDifference", got, want, 1e-9)
+	approxEq(t, "ZCriticalDifference", got, want, 1e-9)
 	// Grows smaller with k.
 	if ZCriticalDifference(1, 1, 100, 0.05) >= got {
 		t.Error("critical difference should shrink with k")
@@ -46,8 +46,8 @@ func TestWelchTTestGolden(t *testing.T) {
 	x := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
 	y := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9}
 	res := WelchTTest(x, y, TwoTailed)
-	close(t, "Welch t", res.Stat, -2.8352638006644852, 1e-9)
-	close(t, "Welch p", res.PValue, 0.008452732437472577, 1e-7)
+	approxEq(t, "Welch t", res.Stat, -2.8352638006644852, 1e-9)
+	approxEq(t, "Welch p", res.PValue, 0.008452732437472577, 1e-7)
 }
 
 func TestPairedTTest(t *testing.T) {
@@ -70,8 +70,8 @@ func TestMannWhitneyGolden(t *testing.T) {
 	x := []float64{1, 2, 3, 4, 5}
 	y := []float64{3, 4, 5, 6, 7}
 	res := MannWhitney(x, y, TwoTailed)
-	close(t, "U", res.U, 4.5, 1e-12)
-	close(t, "PAB", res.PAB, 4.5/25, 1e-12)
+	approxEq(t, "U", res.U, 4.5, 1e-12)
+	approxEq(t, "PAB", res.PAB, 4.5/25, 1e-12)
 	if res.PValue < 0.05 {
 		t.Errorf("small-sample MW should not be significant: p=%v", res.PValue)
 	}
@@ -153,9 +153,9 @@ func TestPairedPAB(t *testing.T) {
 	a := []float64{2, 3, 1, 5}
 	b := []float64{1, 2, 1, 6}
 	// wins: 2>1, 3>2, tie (0.5), 5<6 → 2.5/4
-	close(t, "PairedPAB", PairedPAB(a, b), 2.5/4, 1e-12)
+	approxEq(t, "PairedPAB", PairedPAB(a, b), 2.5/4, 1e-12)
 	// Complementarity: PAB(a,b) + PAB(b,a) = 1.
-	close(t, "complement", PairedPAB(a, b)+PairedPAB(b, a), 1, 1e-12)
+	approxEq(t, "complement", PairedPAB(a, b)+PairedPAB(b, a), 1, 1e-12)
 }
 
 func TestPairedPABProperty(t *testing.T) {
@@ -185,7 +185,7 @@ func TestWilcoxonSignedRank(t *testing.T) {
 	y := []float64{110, 122, 125, 120, 140, 124, 123, 137, 135, 145}
 	res := WilcoxonSignedRank(x, y, TwoTailed)
 	// scipy.stats.wilcoxon(x, y, correction=True, mode='approx'): W+=27.
-	close(t, "W+", res.Stat, 27, 1e-12)
+	approxEq(t, "W+", res.Stat, 27, 1e-12)
 	if res.PValue < 0.3 {
 		t.Errorf("Wilcoxon p=%v, should be clearly non-significant", res.PValue)
 	}

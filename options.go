@@ -56,19 +56,32 @@ func WithSeed(seed uint64) Option {
 // WithParallelism sets the worker-pool size used during collection
 // (default: GOMAXPROCS). Results are identical at any parallelism.
 // Effective concurrency is bounded by BatchSize, the unit of collection.
+// An explicit negative value is rejected; 0 means "use the default".
 func WithParallelism(n int) Option { return func(e *Experiment) { e.Parallelism = n } }
+
+// WithAnalysisParallelism sets the worker-pool size of the sharded
+// percentile bootstrap behind every confidence-interval computation
+// (default: GOMAXPROCS). The resampling is sharded deterministically by
+// (seed, resample count), so results are bit-identical at any setting;
+// 1 forces the serial reference engine. An explicit negative value is
+// rejected; 0 means "use the default".
+func WithAnalysisParallelism(n int) Option {
+	return func(e *Experiment) { e.AnalysisParallelism = n }
+}
 
 // WithMaxRuns caps the number of paired measurements collected
 // (default: Noether's recommended sample size for the chosen γ).
 func WithMaxRuns(n int) Option { return func(e *Experiment) { e.MaxRuns = n } }
 
 // WithMinRuns sets the smallest sample the early-stop rule may judge
-// (default 5).
+// (default 5). An explicit negative value is rejected; 0 means "use the
+// default".
 func WithMinRuns(n int) Option { return func(e *Experiment) { e.MinRuns = n } }
 
 // WithBatchSize sets how many pairs are collected between early-stop
 // evaluations (default 8). Raise it to at least the parallelism when using
-// a large worker pool — at most one batch is in flight at a time.
+// a large worker pool — at most one batch is in flight at a time. An
+// explicit negative value is rejected; 0 means "use the default".
 func WithBatchSize(n int) Option { return func(e *Experiment) { e.BatchSize = n } }
 
 // WithEarlyStop selects the early-stopping policy (default EarlyStopAuto).
@@ -113,10 +126,21 @@ func (e *Experiment) withDefaults() (*Experiment, error) {
 	if c.Seed == 0 && !c.seedSet {
 		c.Seed = 1
 	}
-	if c.BatchSize <= 0 {
+	// Zero still means "use the default" for the count knobs, but an
+	// explicit negative is an error, matching how WithGamma/WithConfidence/
+	// WithBootstrap treat out-of-range input. The zero value of these
+	// fields cannot be confused with an explicit setting, so no set flag is
+	// needed: any negative must have been written deliberately.
+	if c.BatchSize < 0 {
+		return nil, fmt.Errorf("varbench: BatchSize must not be negative, got %d (0 means default)", c.BatchSize)
+	}
+	if c.BatchSize == 0 {
 		c.BatchSize = DefaultBatchSize
 	}
-	if c.MinRuns <= 0 {
+	if c.MinRuns < 0 {
+		return nil, fmt.Errorf("varbench: MinRuns must not be negative, got %d (0 means default)", c.MinRuns)
+	}
+	if c.MinRuns == 0 {
 		c.MinRuns = DefaultMinRuns
 	}
 	if c.MinRuns < 2 {
@@ -131,8 +155,17 @@ func (e *Experiment) withDefaults() (*Experiment, error) {
 	if c.MinRuns > c.MaxRuns {
 		c.MinRuns = c.MaxRuns
 	}
-	if c.Parallelism <= 0 {
+	if c.Parallelism < 0 {
+		return nil, fmt.Errorf("varbench: Parallelism must not be negative, got %d (0 means default)", c.Parallelism)
+	}
+	if c.Parallelism == 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.AnalysisParallelism < 0 {
+		return nil, fmt.Errorf("varbench: AnalysisParallelism must not be negative, got %d (0 means default)", c.AnalysisParallelism)
+	}
+	if c.AnalysisParallelism == 0 {
+		c.AnalysisParallelism = runtime.GOMAXPROCS(0)
 	}
 	return &c, nil
 }

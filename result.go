@@ -12,7 +12,6 @@ import (
 	"varbench/internal/compare"
 	"varbench/internal/report"
 	"varbench/internal/stats"
-	"varbench/internal/xrand"
 )
 
 // Conclusion is the three-zone outcome of the recommended test.
@@ -286,12 +285,15 @@ func combineEvidence(datasets []DatasetResult) (allMeaningful bool, wilcoxonP fl
 
 // protocol carries the statistical knobs of one evaluation of the
 // recommended test; it is the engine behind Experiment.Run, Analyze and the
-// deprecated Compare family.
+// deprecated Compare family. The bootstrap resampling is sharded across
+// `workers` goroutines with (seed, bootstrap)-deterministic shard streams,
+// so evaluations are bit-identical at any worker count.
 type protocol struct {
 	gamma     float64
 	level     float64
 	bootstrap int
 	seed      uint64
+	workers   int
 }
 
 func conclusionOf(d compare.Decision) Conclusion {
@@ -312,7 +314,7 @@ func (p protocol) paired(scoresA, scoresB []float64) (Comparison, error) {
 		return Comparison{}, err
 	}
 	crit := compare.PAB{Gamma: p.gamma, Level: p.level, Bootstrap: p.bootstrap}
-	res, err := crit.Evaluate(pairs, xrand.New(p.seed))
+	res, err := crit.EvaluateSharded(pairs, p.seed, p.workers)
 	if err != nil {
 		return Comparison{}, err
 	}
@@ -332,7 +334,7 @@ func (p protocol) paired(scoresA, scoresB []float64) (Comparison, error) {
 // unpaired runs the Mann-Whitney variant for scores without shared seeds.
 func (p protocol) unpaired(scoresA, scoresB []float64) (Comparison, error) {
 	crit := compare.PAB{Gamma: p.gamma, Level: p.level, Bootstrap: p.bootstrap}
-	res, err := crit.EvaluateUnpaired(scoresA, scoresB, xrand.New(p.seed))
+	res, err := crit.EvaluateUnpairedSharded(scoresA, scoresB, p.seed, p.workers)
 	if err != nil {
 		return Comparison{}, err
 	}
@@ -350,7 +352,24 @@ func (p protocol) unpaired(scoresA, scoresB []float64) (Comparison, error) {
 }
 
 func (e *Experiment) protocol() protocol {
-	return protocol{gamma: e.Gamma, level: e.Confidence, bootstrap: e.Bootstrap, seed: e.Seed}
+	return protocol{gamma: e.Gamma, level: e.Confidence, bootstrap: e.Bootstrap,
+		seed: e.Seed, workers: e.AnalysisParallelism}
+}
+
+// validScores uniformly rejects samples too small for the recommended test
+// at the public API boundary: the bootstrap needs at least 2 scores per
+// algorithm, and reaching the resampler with an empty sample would panic
+// deep inside internal/stats instead of returning a useful error.
+func validScores(scoresA, scoresB []float64, dataset string) error {
+	where := ""
+	if dataset != "" {
+		where = "dataset " + dataset + ": "
+	}
+	if len(scoresA) < 2 || len(scoresB) < 2 {
+		return fmt.Errorf("varbench: %sneed at least 2 scores per algorithm, got %d and %d",
+			where, len(scoresA), len(scoresB))
+	}
+	return nil
 }
 
 // Analyze applies the recommended test to pre-collected scores and wraps
@@ -365,6 +384,9 @@ func Analyze(scoresA, scoresB []float64, opts ...Option) (*Result, error) {
 	}
 	if !e.Unpaired && len(scoresA) != len(scoresB) {
 		return nil, fmt.Errorf("varbench: unpaired lengths %d vs %d", len(scoresA), len(scoresB))
+	}
+	if err := validScores(scoresA, scoresB, ""); err != nil {
+		return nil, err
 	}
 	var c Comparison
 	if e.Unpaired {
@@ -407,7 +429,22 @@ func AnalyzeDatasets(datasets []DatasetScores, opts ...Option) (*Result, error) 
 		return nil, err
 	}
 	in := make([]compare.DatasetPairs, 0, len(datasets))
-	for _, ds := range datasets {
+	seen := make(map[string]bool, len(datasets))
+	for i, ds := range datasets {
+		// Names key the per-dataset bootstrap streams (and the report), so
+		// they must be present and unique — the same rule Experiment.Run
+		// enforces. A lone unnamed dataset stays legal for parity with
+		// single-dataset Analyze.
+		if ds.Name == "" && len(datasets) > 1 {
+			return nil, fmt.Errorf("varbench: dataset %d needs a name", i)
+		}
+		if seen[ds.Name] {
+			return nil, fmt.Errorf("varbench: duplicate dataset name %q", ds.Name)
+		}
+		seen[ds.Name] = true
+		if err := validScores(ds.ScoresA, ds.ScoresB, ds.Name); err != nil {
+			return nil, err
+		}
 		pairs, err := compare.Pairs(ds.ScoresA, ds.ScoresB)
 		if err != nil {
 			return nil, fmt.Errorf("varbench: dataset %s: %w", ds.Name, err)
@@ -415,7 +452,7 @@ func AnalyzeDatasets(datasets []DatasetScores, opts ...Option) (*Result, error) 
 		in = append(in, compare.DatasetPairs{Name: ds.Name, Pairs: pairs})
 	}
 	crit := compare.PAB{Gamma: e.Gamma, Level: e.Confidence, Bootstrap: e.Bootstrap}
-	res, err := compare.AcrossDatasetsCrit(in, crit, 0.05, xrand.New(e.Seed))
+	res, err := compare.AcrossDatasetsSharded(in, crit, 0.05, e.Seed, e.AnalysisParallelism)
 	if err != nil {
 		return nil, err
 	}
