@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// defaultCompareMetrics are the regression-gated units: time and allocated
+// bytes per op. Iteration counts and custom b.ReportMetric units are
+// informational only — they are not comparable across -benchtime settings.
+// CI narrows the gate to B/op (machine-independent) when the baseline was
+// recorded on different hardware.
+const defaultCompareMetrics = "ns/op,B/op"
+
+// compareFiles loads two benchjson reports and fails (returns an error) when
+// any benchmark present in both regressed by more than tolerance on a gated
+// metric — the CI benchmark-regression gate:
+//
+//	benchjson -compare old.json new.json -tolerance 0.20
+//
+// Benchmarks present in only one file are reported but never fail the gate:
+// new benchmarks appear and old ones retire as the suite evolves.
+func compareFiles(oldPath, newPath string, tolerance float64, metricSpec string, w io.Writer) error {
+	if tolerance < 0 {
+		return fmt.Errorf("tolerance must not be negative, got %v", tolerance)
+	}
+	var compareMetrics []string
+	for _, m := range strings.Split(metricSpec, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			compareMetrics = append(compareMetrics, m)
+		}
+	}
+	if len(compareMetrics) == 0 {
+		return fmt.Errorf("empty -metrics spec %q", metricSpec)
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	oldBy := benchIndex(oldRep)
+	newBy := benchIndex(newRep)
+	keys := make([]string, 0, len(oldBy))
+	for k := range oldBy {
+		if _, ok := newBy[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var regressions []string
+	fmt.Fprintf(w, "comparing %s -> %s (tolerance %.0f%% on %v)\n",
+		oldPath, newPath, tolerance*100, compareMetrics)
+	for _, k := range keys {
+		o, n := oldBy[k], newBy[k]
+		for _, metric := range compareMetrics {
+			ov, okO := o.Metrics[metric]
+			nv, okN := n.Metrics[metric]
+			if !okO || !okN {
+				continue
+			}
+			status := "ok"
+			switch {
+			case regressed(ov, nv, tolerance):
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s %s: %s -> %s (%+.1f%%)",
+					k, metric, formatMetric(ov), formatMetric(nv), delta(ov, nv)))
+			case ov > 0 && nv < ov*(1-tolerance):
+				status = "improved"
+			}
+			fmt.Fprintf(w, "  %-60s %8s  %12s -> %-12s %+7.1f%%  %s\n",
+				k, metric, formatMetric(ov), formatMetric(nv), delta(ov, nv), status)
+		}
+	}
+	reportOnly(w, "only in", oldPath, oldBy, newBy)
+	reportOnly(w, "only in", newPath, newBy, oldBy)
+	if len(keys) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(w, "%d benchmark regression(s) beyond %.0f%%:\n", len(regressions), tolerance*100)
+		for _, r := range regressions {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regressions), tolerance*100)
+	}
+	fmt.Fprintf(w, "no regressions beyond %.0f%% across %d common benchmark(s)\n", tolerance*100, len(keys))
+	return nil
+}
+
+// regressed reports whether nv exceeds ov by more than the tolerance. A zero
+// baseline (e.g. 0 B/op) regresses on any growth: relative tolerance has no
+// meaning there, and allocation-free paths must stay allocation-free.
+func regressed(ov, nv, tolerance float64) bool {
+	if ov == 0 {
+		return nv > 0
+	}
+	return nv > ov*(1+tolerance)
+}
+
+func delta(ov, nv float64) float64 {
+	if ov == 0 {
+		if nv == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (nv/ov - 1) * 100
+}
+
+func formatMetric(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+func reportOnly(w io.Writer, label, path string, a, b map[string]Benchmark) {
+	var only []string
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			only = append(only, k)
+		}
+	}
+	sort.Strings(only)
+	for _, k := range only {
+		fmt.Fprintf(w, "  %s %s: %s (not compared)\n", label, path, k)
+	}
+}
+
+// benchIndex keys a report's benchmarks by package/name, verbatim. Names
+// include any -GOMAXPROCS suffix (sub-benchmark names like "maxruns-64"
+// make stripping it ambiguous), so both sides of a comparison must be
+// collected at the same GOMAXPROCS — CI pins it to 1. Duplicate keys (e.g.
+// repeated -count runs) keep the last entry.
+func benchIndex(r *Report) map[string]Benchmark {
+	out := make(map[string]Benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		out[b.Package+"/"+b.Name] = b
+	}
+	return out
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

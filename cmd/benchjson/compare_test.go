@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport marshals a Report into a temp file and returns its path.
+func writeReport(t *testing.T, name string, rep Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baselineReport() Report {
+	return Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkPairedBootstrapK1000", Package: "varbench/internal/stats", Iterations: 100,
+			Metrics: map[string]float64{"ns/op": 100000, "B/op": 4096, "allocs/op": 12}},
+		{Name: "BenchmarkCollectionLazyTrials", Package: "varbench", Iterations: 100,
+			Metrics: map[string]float64{"ns/op": 2000, "B/op": 512}},
+	}}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := writeReport(t, "old.json", baselineReport())
+	// 10% slower: inside the 20% tolerance.
+	rep := baselineReport()
+	rep.Benchmarks[0].Metrics["ns/op"] = 110000
+	newer := writeReport(t, "new.json", rep)
+	var buf bytes.Buffer
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err != nil {
+		t.Fatalf("10%% drift should pass the 20%% gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions beyond 20%") {
+		t.Errorf("missing pass summary:\n%s", buf.String())
+	}
+}
+
+// TestCompareInjectedRegression pins the acceptance criterion: an injected
+// >20% ns/op regression fails the gate.
+func TestCompareInjectedRegression(t *testing.T) {
+	old := writeReport(t, "old.json", baselineReport())
+	rep := baselineReport()
+	rep.Benchmarks[0].Metrics["ns/op"] = 125000 // +25%
+	newer := writeReport(t, "new.json", rep)
+	var buf bytes.Buffer
+	err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf)
+	if err == nil || !strings.Contains(err.Error(), "regressed beyond 20%") {
+		t.Fatalf("25%% ns/op regression must fail the gate, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") ||
+		!strings.Contains(buf.String(), "BenchmarkPairedBootstrapK1000") {
+		t.Errorf("regression not reported:\n%s", buf.String())
+	}
+}
+
+func TestCompareBOpRegression(t *testing.T) {
+	old := writeReport(t, "old.json", baselineReport())
+	rep := baselineReport()
+	rep.Benchmarks[1].Metrics["B/op"] = 1024 // 2x allocations
+	newer := writeReport(t, "new.json", rep)
+	var buf bytes.Buffer
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err == nil {
+		t.Fatal("2x B/op regression must fail the gate")
+	}
+}
+
+func TestCompareZeroBaselineAllocs(t *testing.T) {
+	base := baselineReport()
+	base.Benchmarks[1].Metrics["B/op"] = 0
+	old := writeReport(t, "old.json", base)
+	rep := baselineReport()
+	rep.Benchmarks[1].Metrics["B/op"] = 16
+	newer := writeReport(t, "new.json", rep)
+	var buf bytes.Buffer
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err == nil {
+		t.Fatal("allocation-free baseline growing to 16 B/op must fail")
+	}
+}
+
+func TestCompareDisjointBenchmarksTolerated(t *testing.T) {
+	old := writeReport(t, "old.json", baselineReport())
+	rep := baselineReport()
+	// One benchmark retires, a new one appears: neither fails the gate.
+	rep.Benchmarks[1] = Benchmark{Name: "BenchmarkNewThing", Package: "varbench",
+		Iterations: 100, Metrics: map[string]float64{"ns/op": 1}}
+	newer := writeReport(t, "new.json", rep)
+	var buf bytes.Buffer
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err != nil {
+		t.Fatalf("disjoint benchmarks must not fail the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "not compared") {
+		t.Errorf("disjoint benchmarks should be reported:\n%s", buf.String())
+	}
+}
+
+// TestCompareMetricsSelection: -metrics B/op ignores ns/op drift, the mode
+// CI uses when the baseline was recorded on different hardware.
+func TestCompareMetricsSelection(t *testing.T) {
+	old := writeReport(t, "old.json", baselineReport())
+	rep := baselineReport()
+	rep.Benchmarks[0].Metrics["ns/op"] = 300000 // 3x slower on other hardware
+	newer := writeReport(t, "new.json", rep)
+	var buf bytes.Buffer
+	if err := compareFiles(old, newer, 0.20, "B/op", &buf); err != nil {
+		t.Fatalf("B/op-only gate must ignore ns/op drift: %v", err)
+	}
+	rep.Benchmarks[0].Metrics["B/op"] = 8192 // but 2x allocations still fail
+	newer = writeReport(t, "new2.json", rep)
+	buf.Reset()
+	if err := compareFiles(old, newer, 0.20, "B/op", &buf); err == nil {
+		t.Fatal("B/op-only gate must still catch B/op regressions")
+	}
+	if err := compareFiles(old, newer, 0.20, " , ", &buf); err == nil ||
+		!strings.Contains(err.Error(), "empty -metrics") {
+		t.Errorf("empty metrics spec must error, got %v", err)
+	}
+}
+
+func TestCompareNoCommonBenchmarks(t *testing.T) {
+	old := writeReport(t, "old.json", baselineReport())
+	newer := writeReport(t, "new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkOther", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}},
+	}})
+	var buf bytes.Buffer
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err == nil ||
+		!strings.Contains(err.Error(), "no common benchmarks") {
+		t.Fatalf("empty intersection must error, got %v", err)
+	}
+}
+
+func TestCompareBadInputs(t *testing.T) {
+	old := writeReport(t, "old.json", baselineReport())
+	var buf bytes.Buffer
+	if err := compareFiles(old, filepath.Join(t.TempDir(), "missing.json"), 0.20, "ns/op,B/op", &buf); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := compareFiles(old, old, -0.1, "ns/op,B/op", &buf); err == nil ||
+		!strings.Contains(err.Error(), "tolerance") {
+		t.Errorf("negative tolerance must error, got %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareFiles(old, bad, 0.20, "ns/op,B/op", &buf); err == nil {
+		t.Error("malformed JSON must error")
+	}
+}
+
+func TestRunCompareFlagParsing(t *testing.T) {
+	if err := run([]string{"-compare", "only-one.json"}); err == nil ||
+		!strings.Contains(err.Error(), "exactly two files") {
+		t.Errorf("one positional arg: %v", err)
+	}
+	if err := run([]string{"stray-arg"}); err == nil ||
+		!strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("stray conversion-mode arg: %v", err)
+	}
+}

@@ -8,11 +8,18 @@
 // B/op, allocs/op and custom b.ReportMetric units) are kept as a
 // unit-keyed map. Non-benchmark lines (goos/pkg headers, PASS/ok) are
 // collected into context fields when recognized and otherwise ignored.
+//
+// With -compare, benchjson instead diffs two archived documents and exits
+// nonzero when any benchmark present in both regressed beyond the tolerance
+// on ns/op or B/op — the CI benchmark-regression gate:
+//
+//	benchjson -compare old.json new.json -tolerance 0.20
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -36,17 +43,54 @@ type Report struct {
 }
 
 func main() {
-	rep, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	compare := fs.Bool("compare", false, "compare two archived JSON documents instead of converting stdin")
+	tolerance := fs.Float64("tolerance", 0.20, "allowed relative regression on the gated metrics in compare mode")
+	metrics := fs.String("metrics", defaultCompareMetrics, "comma-separated metrics the compare gate checks (use B/op alone for cross-machine baselines)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: go test -bench . -benchmem | benchjson > BENCH.json")
+		fmt.Fprintln(fs.Output(), "       benchjson -compare old.json new.json [-tolerance 0.20] [-metrics ns/op,B/op]")
+		fs.PrintDefaults()
+	}
+	// The flag package stops at the first positional; re-parse the remainder
+	// so `benchjson -compare old.json new.json -tolerance 0.20` works with
+	// the flags in any position.
+	var files []string
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for fs.NArg() > 0 {
+		rest := fs.Args()
+		files = append(files, rest[0])
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+	}
+	if *compare {
+		if len(files) != 2 {
+			fs.Usage()
+			return fmt.Errorf("-compare needs exactly two files, got %d", len(files))
+		}
+		return compareFiles(files[0], files[1], *tolerance, *metrics, os.Stdout)
+	}
+	if len(files) != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %v (conversion mode reads stdin)", files)
+	}
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(rep)
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

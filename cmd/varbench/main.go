@@ -7,6 +7,7 @@
 //
 //	varbench <experiment> [flags]
 //	varbench compare -a scoresA.csv -b scoresB.csv [flags]
+//	varbench variance [-task name] [-sources spec] [flags]
 //
 // Experiments: fig1 fig2 fig3 fig5 figH5 fig6 figC1 figF2 figG3 figI6
 // table8 appendixC spaces env all (figH4 is accepted as an alias of fig5,
@@ -23,6 +24,12 @@
 // three-zone conclusion (not significant / significant but not meaningful /
 // significant and meaningful) as text, JSON or CSV; see
 // `varbench compare -h` for its flags.
+//
+// The variance subcommand runs a varbench.VarianceStudy on one case study:
+// it decomposes the benchmark's variance across its sources of variation
+// (per-source share, joint randomization, SE-vs-k curves, bias/Var/ρ/MSE)
+// and renders the VarianceReport as text, JSON or CSV; see
+// `varbench variance -h` for its flags.
 package main
 
 import (
@@ -50,9 +57,13 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
-	// The compare subcommand has its own flag set and no timing footer.
+	// The compare and variance subcommands have their own flag sets and no
+	// timing footer.
 	if len(args) > 0 && args[0] == "compare" {
 		return runCompare(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "variance" {
+		return runVariance(args[1:], w)
 	}
 
 	fs := flag.NewFlagSet("varbench", flag.ContinueOnError)
@@ -62,6 +73,7 @@ func run(args []string, w io.Writer) error {
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench <experiment> [flags]")
 		fmt.Fprintln(fs.Output(), "       varbench compare -a scoresA.csv -b scoresB.csv [flags]")
+		fmt.Fprintln(fs.Output(), "       varbench variance [-task name] [-sources spec] [flags]")
 		fmt.Fprintln(fs.Output(), "experiments: fig1 fig2 fig3 fig5 (alias figH4) figH5 fig6 figC1 figF2 figG3 figI6 table8 appendixC spaces env all")
 		fs.PrintDefaults()
 	}

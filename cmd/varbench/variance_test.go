@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+
+	"varbench"
+)
+
+// varianceArgs are the fast golden settings: the tiny case study, small
+// collection shape, fixed seed.
+func varianceArgs(extra ...string) []string {
+	return append([]string{"variance", "-task", "tiny", "-k", "3", "-realizations", "2", "-seed", "5"}, extra...)
+}
+
+// TestVarianceCommandDeterministicAcrossParallelism pins the golden
+// requirement: byte-identical text and JSON output at Parallelism 1 and 4.
+func TestVarianceCommandDeterministicAcrossParallelism(t *testing.T) {
+	// elapsed_ns is wall-clock, the one legitimately varying JSON field.
+	elapsed := regexp.MustCompile(`"elapsed_ns": \d+`)
+	for _, format := range []string{"text", "json"} {
+		var ref bytes.Buffer
+		if err := run(varianceArgs("-p", "1", "-format", format), &ref); err != nil {
+			t.Fatal(err)
+		}
+		var par bytes.Buffer
+		if err := run(varianceArgs("-p", "4", "-format", format), &par); err != nil {
+			t.Fatal(err)
+		}
+		refOut := elapsed.ReplaceAllString(ref.String(), `"elapsed_ns": 0`)
+		parOut := elapsed.ReplaceAllString(par.String(), `"elapsed_ns": 0`)
+		if refOut != parOut {
+			t.Errorf("%s output differs between -p 1 and -p 4:\n%s\n---\n%s",
+				format, refOut, parOut)
+		}
+	}
+}
+
+func TestVarianceCommandTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(varianceArgs("-p", "1"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The tiny study probes its own ξO sources (no numerical noise) plus
+	// the joint row.
+	for _, want := range []string{"tiny", "data-split", "data-augment", "data-order",
+		"weights-init", "dropout", "joint", "share", "μ̂="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("variance output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "numerical-noise") {
+		t.Error("pseudo-source numerical-noise must not be probed")
+	}
+	if strings.Contains(out, "SE of mean vs k") {
+		t.Error("curves rendered without -curves")
+	}
+	buf.Reset()
+	if err := run(varianceArgs("-p", "1", "-curves"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SE of mean vs k") {
+		t.Error("-curves did not render curves")
+	}
+}
+
+func TestVarianceCommandJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(varianceArgs("-p", "1", "-format", "json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep varbench.VarianceReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.Name != "tiny" || rep.K != 3 || rep.Realizations != 2 || rep.Seed != 5 {
+		t.Errorf("report header: %+v", rep)
+	}
+	if len(rep.Sources) != 5 {
+		t.Errorf("want 5 probed sources for tiny, got %d", len(rep.Sources))
+	}
+	if rep.Joint.Source != varbench.JointLabel {
+		t.Errorf("joint row: %+v", rep.Joint)
+	}
+}
+
+func TestVarianceCommandSourcesFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(varianceArgs("-p", "1", "-sources", "init,data", "-format", "csv"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Header + two probed sources + joint.
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 4 {
+		t.Errorf("want 4 CSV lines, got %d:\n%s", lines, out)
+	}
+	if !strings.Contains(out, string(varbench.VarInit)) || !strings.Contains(out, string(varbench.VarDataSplit)) {
+		t.Errorf("csv output missing probed sources:\n%s", out)
+	}
+}
+
+func TestVarianceCommandErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown task", []string{"variance", "-task", "nope"}, "unknown study"},
+		{"unknown format", varianceArgs("-format", "xml"), "unknown format"},
+		{"bad sources", varianceArgs("-sources", "bogus"), "unknown source"},
+		{"xi-h source", varianceArgs("-sources", "hopt"), "rerunning hyperparameter optimization"},
+		{"xi-h via set", varianceArgs("-sources", "all"), "rerunning hyperparameter optimization"},
+		{"inapplicable source", []string{"variance", "-task", "mhc-mlp", "-sources", "data-augment"},
+			"does not use source"},
+		{"bad k", varianceArgs("-k", "-3"), "K must not be negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tc.args, &buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}

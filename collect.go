@@ -50,18 +50,31 @@ func collectRuns(ctx context.Context, run TrialFunc, trials []Trial, out []float
 // collectWith executes do(i) for every trial index across a worker pool,
 // stopping at the first error or context cancellation.
 func collectWith(ctx context.Context, trials []Trial, workers int, do func(i int) error) error {
-	if len(trials) == 0 {
+	return collectN(ctx, len(trials), workers, func(_ context.Context, i int) error { return do(i) })
+}
+
+// collectN executes do(ctx, i) for i in [0, n) across a worker pool,
+// stopping at the first error or context cancellation. It is the engine
+// behind both trial collection and the (source × realization) fan-out of
+// VarianceStudy.Run: every job writes only to its own pre-assigned slot, so
+// any worker count produces identical results. The ctx handed to do is
+// canceled as soon as any job fails, so long-running jobs (a whole
+// K-measure variance cell, not just one trial) can stop between their own
+// steps instead of running to completion; the first failure always wins the
+// reported error, never a sibling's cancellation.
+func collectN(ctx context.Context, n, workers int, do func(ctx context.Context, i int) error) error {
+	if n == 0 {
 		return nil
 	}
-	if workers > len(trials) {
-		workers = len(trials)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i := range trials {
+		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("varbench: collection canceled: %w", err)
 			}
-			if err := do(i); err != nil {
+			if err := do(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -75,6 +88,8 @@ func collectWith(ctx context.Context, trials []Trial, workers int, do func(i int
 		mu       sync.Mutex
 		firstErr error
 	)
+	// firstErr is assigned before cancel fires (same critical section), so
+	// cancellation errors from in-flight siblings never mask the root cause.
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
@@ -89,7 +104,7 @@ func collectWith(ctx context.Context, trials []Trial, workers int, do func(i int
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if err := do(i); err != nil {
+				if err := do(ctx, i); err != nil {
 					fail(err)
 					return
 				}
@@ -97,7 +112,7 @@ func collectWith(ctx context.Context, trials []Trial, workers int, do func(i int
 		}()
 	}
 feed:
-	for i := range trials {
+	for i := 0; i < n; i++ {
 		select {
 		case idx <- i:
 		case <-ctx.Done():

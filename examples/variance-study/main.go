@@ -1,14 +1,16 @@
 // Variance study: measure how much each source of variation (data split,
-// augmentation, data order, weight init, dropout, hyperparameter
-// optimization) contributes to the spread of a benchmark's results — a
-// miniature of the paper's Figure 1 on one case study.
+// augmentation, data order, weight init, dropout) contributes to the spread
+// of a benchmark's results — a miniature of the paper's Figure 1 on one case
+// study, through the public VarianceStudy API.
 //
-// The ξO sources are probed through the public Experiment API: one
-// Experiment per source, with Sources naming the single source that gets a
-// fresh seed on every trial while everything else stays fixed.
-// Experiment.Collect then gathers the measurements across a worker pool.
+// One declarative spec replaces the per-source Experiment loop: the study
+// probes every source one at a time (fresh seed per measure, everything else
+// fixed), adds a joint-randomization row, and summarizes shares, SE-vs-k
+// curves and the bias/Var/ρ/MSE decomposition into one VarianceReport. The
+// (source × realization) cells fan out across a worker pool and the report
+// is bit-identical at any -p.
 //
-// Run: go run ./examples/variance-study [-task name] [-n seeds] [-p workers]
+// Run: go run ./examples/variance-study [-task name] [-k measures] [-r realizations] [-p workers]
 package main
 
 import (
@@ -20,19 +22,16 @@ import (
 
 	"varbench"
 	"varbench/internal/casestudy"
-	"varbench/internal/estimator"
-	"varbench/internal/hpo"
 	"varbench/internal/pipeline"
-	"varbench/internal/report"
-	"varbench/internal/stats"
 	"varbench/internal/xrand"
 )
 
 func main() {
 	taskName := flag.String("task", "rte-bert", "case study name")
-	n := flag.Int("n", 15, "seeds per source (paper: 200)")
-	hoptBudget := flag.Int("budget", 10, "HPO trial budget (paper: 200)")
-	workers := flag.Int("p", 0, "collection parallelism (0 = GOMAXPROCS)")
+	k := flag.Int("k", 6, "measures per source per realization (paper: 200)")
+	realizations := flag.Int("r", 3, "independent realizations (paper: 20)")
+	workers := flag.Int("p", 0, "worker-pool size (0 = GOMAXPROCS)")
+	curves := flag.Bool("curves", false, "render SE-vs-k curves")
 	flag.Parse()
 
 	task, err := casestudy.ByName(*taskName, 20210301)
@@ -41,63 +40,45 @@ func main() {
 	}
 
 	// One full pipeline run under the trial's per-source seed assignment:
-	// sources the experiment varies get fresh seeds, the rest stay fixed.
+	// sources the study varies get fresh seeds, the rest stay fixed. Using
+	// fixed default hyperparameters is the FixHOptEst regime (O(k+T)
+	// trainings); rerunning HPO per measure would be the ideal estimator.
+	params := task.Defaults()
 	runTrial := func(t varbench.Trial) (float64, error) {
 		streams := xrand.NewStreams(0)
 		for _, v := range xrand.AllVars() {
 			streams.Reseed(v, t.SourceSeed(varbench.Source(v)))
 		}
-		return pipeline.RunWithParams(task, task.Defaults(), streams)
+		return pipeline.RunWithParams(task, params, streams)
 	}
 
-	tb := &report.Table{
-		Title:   fmt.Sprintf("Sources of variation — %s (n=%d seeds each)", task.Name(), *n),
-		Headers: []string{"source", "std", "relative to data split"},
-	}
-
-	var refStd float64
+	// Probe the task's own ξO sources (the numerical-noise pseudo-source has
+	// no seed stream; `varbench fig1` covers it with the internal protocol).
+	var probe []varbench.Source
 	for _, v := range task.Sources() {
-		var measures []float64
-		var err error
-		if v == xrand.VarNumericalNoise {
-			// The pseudo-source: all seeds fixed, only nondeterministic
-			// floating-point accumulation varies. It has no seed stream for
-			// Sources to vary, so it keeps the estimator's special-cased
-			// protocol.
-			measures, err = estimator.SourceMeasures(task, task.Defaults(), v, *n, 7)
-		} else {
-			exp := varbench.Experiment{
-				ATrial:      runTrial,
-				Sources:     []varbench.Source{varbench.Source(v)},
-				Seed:        7,
-				MaxRuns:     *n,
-				Parallelism: *workers,
-			}
-			measures, err = exp.Collect(context.Background())
+		if v != xrand.VarNumericalNoise {
+			probe = append(probe, varbench.Source(v))
 		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		sd := stats.Std(measures)
-		if v == xrand.VarDataSplit {
-			refStd = sd
-		}
-		tb.AddRow(string(v), sd, sd/refStd)
 	}
 
-	// ξH: rerun the hyperparameter search with different search seeds.
-	for _, opt := range []hpo.Optimizer{hpo.RandomSearch{}, hpo.NoisyGrid{}, hpo.BayesOpt{}} {
-		measures, err := estimator.HOptMeasures(task, opt, *hoptBudget, 5, 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sd := stats.Std(measures)
-		tb.AddRow(opt.Name(), sd, sd/refStd)
+	study := varbench.VarianceStudy{
+		Name:         task.Name(),
+		Pipeline:     runTrial,
+		Sources:      probe,
+		K:            *k,
+		Realizations: *realizations,
+		Seed:         7,
+		Parallelism:  *workers,
 	}
-
-	if err := tb.Render(os.Stdout); err != nil {
+	rep, err := study.Run(context.Background())
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nReading the table: if any row rivals the data-split row, ignoring")
-	fmt.Println("that source in your benchmark makes its conclusions unreliable.")
+	if err := rep.Render(os.Stdout, varbench.VarianceTextRenderer{Curves: *curves}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading the table: if any row's share rivals the data-split row,")
+	fmt.Println("ignoring that source in your benchmark makes its conclusions unreliable.")
+	fmt.Println("The joint row varies every probed source at once — the paper's")
+	fmt.Println("recommendation — and its share ≈ the sum when sources are independent.")
 }

@@ -1,6 +1,13 @@
 package varbench
 
-import "varbench/internal/xrand"
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"varbench/internal/estimator"
+	"varbench/internal/xrand"
+)
 
 // A Source names one source of variation in a learning pipeline, following
 // the paper's decomposition ξ = ξO ∪ ξH (Section 2.1). An Experiment draws a
@@ -51,6 +58,105 @@ func sourcesOf(vars []xrand.Var) []Source {
 		out[i] = Source(v)
 	}
 	return out
+}
+
+// A SourceSet names a canonical group of sources of variation, bridging the
+// randomization subsets of the internal estimators (the FixHOptEst variants
+// of Algorithm 2, Section 3.3) to the public Source vocabulary. Sets expand
+// through Sources and are accepted anywhere ParseSources specs are, e.g. the
+// `varbench variance -sources` flag.
+type SourceSet string
+
+// The canonical source sets.
+const (
+	// SetInit is FixHOptEst(k, Init): weight initialization only — the
+	// predominant (and weakest) randomization practice in the literature.
+	SetInit SourceSet = "init"
+	// SetData is FixHOptEst(k, Data): the dataset split only (bootstrap).
+	SetData SourceSet = "data"
+	// SetLearning is FixHOptEst(k, All): every ξO source — init, order,
+	// dropout, augmentation and data split — everything except HOpt. The
+	// paper's recommended cheap randomization.
+	SetLearning SourceSet = "learning"
+	// SetAll is every seedable source, ξO and ξH (LearningSources plus the
+	// hyperparameter-optimization streams).
+	SetAll SourceSet = "all"
+)
+
+// sourceSets maps each named set to its expansion. The first three delegate
+// to the estimator's Subset registry so the public sets can never drift from
+// the subsets the internal estimators actually randomize.
+func sourceSets() map[SourceSet][]Source {
+	return map[SourceSet][]Source{
+		SetInit:     sourcesOf(estimator.SubsetInit.Vars()),
+		SetData:     sourcesOf(estimator.SubsetData.Vars()),
+		SetLearning: sourcesOf(estimator.SubsetAll.Vars()),
+		SetAll:      AllSources(),
+	}
+}
+
+// Sources expands the set into its sources of variation. Unknown sets return
+// an error listing the valid names.
+func (s SourceSet) Sources() ([]Source, error) {
+	if out, ok := sourceSets()[s]; ok {
+		return out, nil
+	}
+	return nil, fmt.Errorf("varbench: unknown source set %q (valid: %s)", s, validSourceNames())
+}
+
+// ParseSources resolves a comma-separated spec of source labels and set names
+// ("weights-init", "init,data-order", "learning", "all,hopt") into a
+// duplicate-free Source list, preserving first-appearance order. It is the
+// registry the CLI uses to translate user specs into the estimator's
+// randomization subsets.
+func ParseSources(spec string) ([]Source, error) {
+	var out []Source
+	seen := make(map[Source]bool)
+	add := func(s Source) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	known := make(map[Source]bool)
+	for _, s := range AllSources() {
+		known[s] = true
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if set, ok := sourceSets()[SourceSet(tok)]; ok {
+			for _, s := range set {
+				add(s)
+			}
+			continue
+		}
+		if known[Source(tok)] {
+			add(Source(tok))
+			continue
+		}
+		return nil, fmt.Errorf("varbench: unknown source %q (valid: %s)", tok, validSourceNames())
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("varbench: empty source spec %q", spec)
+	}
+	return out, nil
+}
+
+// validSourceNames lists every accepted ParseSources token, sets first.
+func validSourceNames() string {
+	sets := make([]string, 0, len(sourceSets()))
+	for s := range sourceSets() {
+		sets = append(sets, string(s))
+	}
+	sort.Strings(sets)
+	names := sets
+	for _, s := range AllSources() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
 }
 
 // A Trial is the complete seed assignment of one benchmark run: a root seed

@@ -1,0 +1,199 @@
+package varbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"varbench/internal/report"
+)
+
+// JointLabel names the joint-randomization row of a VarianceReport: the
+// pseudo-source in which every probed source receives a fresh seed on every
+// measure at once — the paper's recommended randomization.
+const JointLabel = "joint"
+
+// SECurve is the standard error of the k-measure mean as a function of k —
+// one line of the Figures 5/H.4 plots. Band holds the uncertainty of each SE
+// estimate given the number of realizations it was measured from.
+type SECurve struct {
+	K    []int     `json:"k"`
+	SE   []float64 `json:"se"`
+	Band []float64 `json:"band,omitempty"`
+}
+
+// Decomposition is the Figure H.5 breakdown of the k-measure mean as an
+// estimator of expected performance: its bias against the study's reference
+// μ̂, its variance across realizations, the average correlation ρ between
+// measures of one realization, and the resulting mean squared error.
+type Decomposition struct {
+	Bias float64 `json:"bias"`
+	Var  float64 `json:"var"`
+	Rho  float64 `json:"rho"`
+	MSE  float64 `json:"mse"`
+}
+
+// SourceVariance is one row of a VarianceReport: the variance contributed by
+// a single source of variation (or by all probed sources jointly for the
+// JointLabel row).
+type SourceVariance struct {
+	// Source is the probed source's label, or JointLabel.
+	Source string `json:"source"`
+	// Mean is the average of all the row's measures.
+	Mean float64 `json:"mean"`
+	// Std is the pooled within-realization standard deviation of single
+	// measures — the per-source spread Figure 1 reports.
+	Std float64 `json:"std"`
+	// Share is this row's variance as a fraction of the summed variance of
+	// all probed sources. For the joint row it compares joint randomization
+	// to that sum: ≈1 when the sources contribute independently.
+	Share float64 `json:"share"`
+	// Curve is the SE-vs-k trajectory of the row's k-measure mean.
+	Curve SECurve `json:"curve"`
+	// Decomposition breaks the K-measure mean into bias/Var/ρ/MSE.
+	Decomposition Decomposition `json:"decomposition"`
+	// Measures holds the raw realization×K measure matrix.
+	Measures [][]float64 `json:"measures,omitempty"`
+}
+
+// VarianceReport is the outcome of a VarianceStudy: the per-source variance
+// decomposition of one benchmark pipeline. Render it with one of the
+// VarianceRenderer implementations or read the fields directly.
+type VarianceReport struct {
+	// Name echoes the study label.
+	Name string `json:"name,omitempty"`
+	// Seed is the root seed the study derived all randomness from.
+	Seed uint64 `json:"seed,omitempty"`
+	// K and Realizations echo the study's collection shape.
+	K            int `json:"k"`
+	Realizations int `json:"realizations"`
+	// Mu is the study's reference expected performance: the grand mean of
+	// the joint-randomization measures. Decomposition biases are measured
+	// against it.
+	Mu float64 `json:"mu"`
+	// Sources holds one row per probed source, in the study's order.
+	Sources []SourceVariance `json:"sources"`
+	// Joint is the all-probed-sources row (fresh seed for every probed
+	// source on every measure).
+	Joint SourceVariance `json:"joint"`
+	// Elapsed is the wall-clock collection time.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// Rows returns every report row — the probed sources followed by the joint
+// row — in display order.
+func (r *VarianceReport) Rows() []SourceVariance {
+	return append(append([]SourceVariance(nil), r.Sources...), r.Joint)
+}
+
+// String renders the report with the default text renderer.
+func (r *VarianceReport) String() string {
+	var buf bytes.Buffer
+	if err := (VarianceTextRenderer{}).Render(&buf, r); err != nil {
+		return fmt.Sprintf("varbench: render error: %v", err)
+	}
+	return buf.String()
+}
+
+// Render writes the report through the given renderer (VarianceTextRenderer
+// when nil).
+func (r *VarianceReport) Render(w io.Writer, ren VarianceRenderer) error {
+	if ren == nil {
+		ren = VarianceTextRenderer{}
+	}
+	return ren.Render(w, r)
+}
+
+// A VarianceRenderer serializes a VarianceReport. VarianceTextRenderer,
+// VarianceJSONRenderer and VarianceCSVRenderer are provided; external
+// packages can plug their own.
+type VarianceRenderer interface {
+	Render(w io.Writer, r *VarianceReport) error
+}
+
+// VarianceTextRenderer writes an aligned human-readable report.
+type VarianceTextRenderer struct {
+	// Curves additionally renders each row's SE-vs-k trajectory.
+	Curves bool
+}
+
+// Render implements VarianceRenderer.
+func (t VarianceTextRenderer) Render(w io.Writer, r *VarianceReport) error {
+	title := "variance decomposition"
+	if r.Name != "" {
+		title = r.Name + " — " + title
+	}
+	tb := &report.Table{
+		Title:   title,
+		Headers: []string{"source", "mean", "std", "share", "bias", "var(μ̃)", "ρ", "MSE"},
+	}
+	for _, row := range r.Rows() {
+		d := row.Decomposition
+		tb.AddRow(row.Source, row.Mean, row.Std, row.Share, d.Bias, d.Var, d.Rho, d.MSE)
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "μ̂=%s  (K=%d, %d realizations, seed %d)\n",
+		report.FormatFloat(r.Mu), r.K, r.Realizations, r.Seed); err != nil {
+		return err
+	}
+	if !t.Curves {
+		return nil
+	}
+	for _, row := range r.Rows() {
+		var series []report.Series
+		x := make([]float64, len(row.Curve.K))
+		for i, k := range row.Curve.K {
+			x[i] = float64(k)
+		}
+		series = append(series, report.Series{Name: row.Source, X: x, Y: row.Curve.SE})
+		if err := report.LinePlot(w, fmt.Sprintf("SE of mean vs k — %s", row.Source),
+			series, 60, 10); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VarianceJSONRenderer writes the report as a single JSON document.
+type VarianceJSONRenderer struct {
+	// Indent pretty-prints with two-space indentation.
+	Indent bool
+}
+
+// Render implements VarianceRenderer.
+func (j VarianceJSONRenderer) Render(w io.Writer, r *VarianceReport) error {
+	enc := json.NewEncoder(w)
+	if j.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(r)
+}
+
+// VarianceCSVRenderer writes one CSV row per source (the joint row last),
+// suited to downstream pipelines aggregating many studies.
+type VarianceCSVRenderer struct{}
+
+// Render implements VarianceRenderer.
+func (VarianceCSVRenderer) Render(w io.Writer, r *VarianceReport) error {
+	// Full-precision floats: machine-readable output must not go through the
+	// display-oriented report.FormatFloat rounding.
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	tb := &report.Table{
+		Headers: []string{"study", "source", "k", "realizations", "mean", "std",
+			"share", "bias", "var", "rho", "mse"},
+	}
+	for _, row := range r.Rows() {
+		d := row.Decomposition
+		tb.Rows = append(tb.Rows, []string{
+			r.Name, row.Source, strconv.Itoa(r.K), strconv.Itoa(r.Realizations),
+			g(row.Mean), g(row.Std), g(row.Share),
+			g(d.Bias), g(d.Var), g(d.Rho), g(d.MSE),
+		})
+	}
+	return tb.WriteCSV(w)
+}

@@ -1,0 +1,94 @@
+package varbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func synthReport(t *testing.T) *VarianceReport {
+	t.Helper()
+	rep, err := synthStudy(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestVarianceTextRenderer(t *testing.T) {
+	rep := synthReport(t)
+	var buf bytes.Buffer
+	if err := rep.Render(&buf, VarianceTextRenderer{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"synthetic", "source", "share", string(VarDataSplit), JointLabel, "μ̂="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "SE of mean vs k") {
+		t.Error("curves rendered without Curves flag")
+	}
+	buf.Reset()
+	if err := rep.Render(&buf, VarianceTextRenderer{Curves: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SE of mean vs k — "+JointLabel) {
+		t.Error("Curves flag did not render curves")
+	}
+	// String() and a nil renderer both default to the text renderer.
+	var ref bytes.Buffer
+	if err := rep.Render(&ref, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() != ref.String() || ref.String() != out {
+		t.Error("String()/nil renderer differ from the default text rendering")
+	}
+}
+
+func TestVarianceJSONRenderer(t *testing.T) {
+	rep := synthReport(t)
+	var buf bytes.Buffer
+	if err := rep.Render(&buf, VarianceJSONRenderer{Indent: true}); err != nil {
+		t.Fatal(err)
+	}
+	var back VarianceReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.K != rep.K || back.Realizations != rep.Realizations || back.Mu != rep.Mu {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if len(back.Sources) != len(rep.Sources) {
+		t.Errorf("round-trip lost sources")
+	}
+	if back.Joint.Source != JointLabel {
+		t.Errorf("joint row lost: %+v", back.Joint)
+	}
+}
+
+func TestVarianceCSVRenderer(t *testing.T) {
+	rep := synthReport(t)
+	var buf bytes.Buffer
+	if err := rep.Render(&buf, VarianceCSVRenderer{}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 3 sources + joint.
+	if len(rows) != 5 {
+		t.Fatalf("want 5 CSV rows, got %d: %v", len(rows), rows)
+	}
+	if rows[0][1] != "source" {
+		t.Errorf("header row: %v", rows[0])
+	}
+	if rows[len(rows)-1][1] != JointLabel {
+		t.Errorf("last row should be joint: %v", rows[len(rows)-1])
+	}
+}
