@@ -24,7 +24,15 @@ const defaultCompareMetrics = "ns/op,B/op"
 //
 // Benchmarks present in only one file are reported but never fail the gate:
 // new benchmarks appear and old ones retire as the suite evolves.
-func compareFiles(oldPath, newPath string, tolerance float64, metricSpec string, w io.Writer) error {
+//
+// With allowMissingBaseline, an unusable baseline — the old file missing,
+// undecodable, or sharing no benchmarks with the new one — skips the gate
+// with a loud warning instead of failing it: on a new branch, or after the
+// previous run's artifact expired or got corrupted in transfer, there is
+// nothing meaningful to compare against, and red-Xing an unrelated PR for
+// it only teaches people to ignore the gate. Problems with the NEW file
+// always fail: that artifact was produced by the run under test.
+func compareFiles(oldPath, newPath string, tolerance float64, metricSpec string, allowMissingBaseline bool, w io.Writer) error {
 	if tolerance < 0 {
 		return fmt.Errorf("tolerance must not be negative, got %v", tolerance)
 	}
@@ -37,9 +45,17 @@ func compareFiles(oldPath, newPath string, tolerance float64, metricSpec string,
 	if len(compareMetrics) == 0 {
 		return fmt.Errorf("empty -metrics spec %q", metricSpec)
 	}
+	skip := func(reason error) error {
+		if !allowMissingBaseline {
+			return reason
+		}
+		fmt.Fprintf(w, "::warning::benchjson: baseline %s unusable (%v); skipping the regression gate this run\n",
+			oldPath, reason)
+		return nil
+	}
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
-		return err
+		return skip(err)
 	}
 	newRep, err := loadReport(newPath)
 	if err != nil {
@@ -83,7 +99,7 @@ func compareFiles(oldPath, newPath string, tolerance float64, metricSpec string,
 	reportOnly(w, "only in", oldPath, oldBy, newBy)
 	reportOnly(w, "only in", newPath, newBy, oldBy)
 	if len(keys) == 0 {
-		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+		return skip(fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath))
 	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(w, "%d benchmark regression(s) beyond %.0f%%:\n", len(regressions), tolerance*100)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,7 +40,7 @@ func TestCompareNoRegression(t *testing.T) {
 	rep.Benchmarks[0].Metrics["ns/op"] = 110000
 	newer := writeReport(t, "new.json", rep)
 	var buf bytes.Buffer
-	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err != nil {
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", false, &buf); err != nil {
 		t.Fatalf("10%% drift should pass the 20%% gate: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "no regressions beyond 20%") {
@@ -55,7 +56,7 @@ func TestCompareInjectedRegression(t *testing.T) {
 	rep.Benchmarks[0].Metrics["ns/op"] = 125000 // +25%
 	newer := writeReport(t, "new.json", rep)
 	var buf bytes.Buffer
-	err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf)
+	err := compareFiles(old, newer, 0.20, "ns/op,B/op", false, &buf)
 	if err == nil || !strings.Contains(err.Error(), "regressed beyond 20%") {
 		t.Fatalf("25%% ns/op regression must fail the gate, got %v", err)
 	}
@@ -71,7 +72,7 @@ func TestCompareBOpRegression(t *testing.T) {
 	rep.Benchmarks[1].Metrics["B/op"] = 1024 // 2x allocations
 	newer := writeReport(t, "new.json", rep)
 	var buf bytes.Buffer
-	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err == nil {
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", false, &buf); err == nil {
 		t.Fatal("2x B/op regression must fail the gate")
 	}
 }
@@ -84,7 +85,7 @@ func TestCompareZeroBaselineAllocs(t *testing.T) {
 	rep.Benchmarks[1].Metrics["B/op"] = 16
 	newer := writeReport(t, "new.json", rep)
 	var buf bytes.Buffer
-	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err == nil {
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", false, &buf); err == nil {
 		t.Fatal("allocation-free baseline growing to 16 B/op must fail")
 	}
 }
@@ -97,7 +98,7 @@ func TestCompareDisjointBenchmarksTolerated(t *testing.T) {
 		Iterations: 100, Metrics: map[string]float64{"ns/op": 1}}
 	newer := writeReport(t, "new.json", rep)
 	var buf bytes.Buffer
-	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err != nil {
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", false, &buf); err != nil {
 		t.Fatalf("disjoint benchmarks must not fail the gate: %v", err)
 	}
 	if !strings.Contains(buf.String(), "not compared") {
@@ -113,16 +114,16 @@ func TestCompareMetricsSelection(t *testing.T) {
 	rep.Benchmarks[0].Metrics["ns/op"] = 300000 // 3x slower on other hardware
 	newer := writeReport(t, "new.json", rep)
 	var buf bytes.Buffer
-	if err := compareFiles(old, newer, 0.20, "B/op", &buf); err != nil {
+	if err := compareFiles(old, newer, 0.20, "B/op", false, &buf); err != nil {
 		t.Fatalf("B/op-only gate must ignore ns/op drift: %v", err)
 	}
 	rep.Benchmarks[0].Metrics["B/op"] = 8192 // but 2x allocations still fail
 	newer = writeReport(t, "new2.json", rep)
 	buf.Reset()
-	if err := compareFiles(old, newer, 0.20, "B/op", &buf); err == nil {
+	if err := compareFiles(old, newer, 0.20, "B/op", false, &buf); err == nil {
 		t.Fatal("B/op-only gate must still catch B/op regressions")
 	}
-	if err := compareFiles(old, newer, 0.20, " , ", &buf); err == nil ||
+	if err := compareFiles(old, newer, 0.20, " , ", false, &buf); err == nil ||
 		!strings.Contains(err.Error(), "empty -metrics") {
 		t.Errorf("empty metrics spec must error, got %v", err)
 	}
@@ -134,7 +135,7 @@ func TestCompareNoCommonBenchmarks(t *testing.T) {
 		{Name: "BenchmarkOther", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}},
 	}})
 	var buf bytes.Buffer
-	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", &buf); err == nil ||
+	if err := compareFiles(old, newer, 0.20, "ns/op,B/op", false, &buf); err == nil ||
 		!strings.Contains(err.Error(), "no common benchmarks") {
 		t.Fatalf("empty intersection must error, got %v", err)
 	}
@@ -143,10 +144,10 @@ func TestCompareNoCommonBenchmarks(t *testing.T) {
 func TestCompareBadInputs(t *testing.T) {
 	old := writeReport(t, "old.json", baselineReport())
 	var buf bytes.Buffer
-	if err := compareFiles(old, filepath.Join(t.TempDir(), "missing.json"), 0.20, "ns/op,B/op", &buf); err == nil {
+	if err := compareFiles(old, filepath.Join(t.TempDir(), "missing.json"), 0.20, "ns/op,B/op", false, &buf); err == nil {
 		t.Error("missing file must error")
 	}
-	if err := compareFiles(old, old, -0.1, "ns/op,B/op", &buf); err == nil ||
+	if err := compareFiles(old, old, -0.1, "ns/op,B/op", false, &buf); err == nil ||
 		!strings.Contains(err.Error(), "tolerance") {
 		t.Errorf("negative tolerance must error, got %v", err)
 	}
@@ -154,7 +155,7 @@ func TestCompareBadInputs(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := compareFiles(old, bad, 0.20, "ns/op,B/op", &buf); err == nil {
+	if err := compareFiles(old, bad, 0.20, "ns/op,B/op", false, &buf); err == nil {
 		t.Error("malformed JSON must error")
 	}
 }
@@ -167,5 +168,81 @@ func TestRunCompareFlagParsing(t *testing.T) {
 	if err := run([]string{"stray-arg"}); err == nil ||
 		!strings.Contains(err.Error(), "unexpected arguments") {
 		t.Errorf("stray conversion-mode arg: %v", err)
+	}
+}
+
+// TestCompareAllowMissingBaseline: the CI first-run / expired-artifact
+// cases — a missing, undecodable, or disjoint baseline skips the gate with
+// a warning instead of red-Xing the PR, but only under the flag, and never
+// for problems with the new (just-produced) file.
+func TestCompareAllowMissingBaseline(t *testing.T) {
+	newer := writeReport(t, "new.json", baselineReport())
+	missing := filepath.Join(t.TempDir(), "missing.json")
+
+	var buf bytes.Buffer
+	if err := compareFiles(missing, newer, 0.20, "ns/op,B/op", true, &buf); err != nil {
+		t.Fatalf("missing baseline with flag: want skip, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "::warning::") || !strings.Contains(buf.String(), "skipping") {
+		t.Errorf("skip must warn loudly:\n%s", buf.String())
+	}
+
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json at {{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := compareFiles(garbage, newer, 0.20, "ns/op,B/op", true, &buf); err != nil {
+		t.Fatalf("garbage baseline with flag: want skip, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "::warning::") {
+		t.Errorf("garbage skip must warn:\n%s", buf.String())
+	}
+
+	disjoint := writeReport(t, "disjoint.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkRetired", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}},
+	}})
+	buf.Reset()
+	if err := compareFiles(disjoint, newer, 0.20, "ns/op,B/op", true, &buf); err != nil {
+		t.Fatalf("disjoint baseline with flag: want skip, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "::warning::") {
+		t.Errorf("disjoint skip must warn:\n%s", buf.String())
+	}
+
+	// A broken NEW file is the run under test's own artifact: always fail.
+	if err := compareFiles(newer, garbage, 0.20, "ns/op,B/op", true, &buf); err == nil {
+		t.Error("garbage NEW file must fail even with -allow-missing-baseline")
+	}
+	if err := compareFiles(newer, missing, 0.20, "ns/op,B/op", true, &buf); err == nil {
+		t.Error("missing NEW file must fail even with -allow-missing-baseline")
+	}
+
+	// Without the flag, the old strict behavior stands.
+	if err := compareFiles(missing, newer, 0.20, "ns/op,B/op", false, &buf); err == nil {
+		t.Error("missing baseline without flag must fail")
+	}
+}
+
+// TestReportMarshalNaNMetric: a NaN custom metric (b.ReportMetric of a
+// degenerate ratio) encodes as null instead of failing the document.
+func TestReportMarshalNaNMetric(t *testing.T) {
+	rep := Report{Benchmarks: []Benchmark{{
+		Name: "BenchmarkDegenerate", Iterations: 1,
+		Metrics: map[string]float64{"ns/op": 10, "ratio": math.NaN()},
+	}}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal with NaN metric: %v", err)
+	}
+	if !strings.Contains(string(data), `"ratio":null`) {
+		t.Errorf("NaN metric must encode as null: %s", data)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Benchmarks[0].Metrics["ns/op"] != 10 {
+		t.Errorf("finite metric lost: %+v", back.Benchmarks[0])
 	}
 }

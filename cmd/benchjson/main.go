@@ -24,6 +24,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"varbench/internal/jsonx"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -42,6 +44,16 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// MarshalJSON implements json.Marshaler, encoding non-finite metric values
+// as null: a benchmark reporting b.ReportMetric(math.NaN(), ...) — a
+// degenerate ratio, a division by zero iterations — must not make the whole
+// document unserializable ("json: unsupported value: NaN"). Decoding null
+// back yields 0 for that metric.
+func (r Report) MarshalJSON() ([]byte, error) {
+	type alias Report
+	return jsonx.Marshal(alias(r))
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -54,9 +66,10 @@ func run(args []string) error {
 	compare := fs.Bool("compare", false, "compare two archived JSON documents instead of converting stdin")
 	tolerance := fs.Float64("tolerance", 0.20, "allowed relative regression on the gated metrics in compare mode")
 	metrics := fs.String("metrics", defaultCompareMetrics, "comma-separated metrics the compare gate checks (use B/op alone for cross-machine baselines)")
+	allowMissing := fs.Bool("allow-missing-baseline", false, "in compare mode, skip the gate with a warning when the baseline (old) file is missing, undecodable or shares no benchmarks — for first runs and expired artifacts; problems with the new file still fail")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: go test -bench . -benchmem | benchjson > BENCH.json")
-		fmt.Fprintln(fs.Output(), "       benchjson -compare old.json new.json [-tolerance 0.20] [-metrics ns/op,B/op]")
+		fmt.Fprintln(fs.Output(), "       benchjson -compare old.json new.json [-tolerance 0.20] [-metrics ns/op,B/op] [-allow-missing-baseline]")
 		fs.PrintDefaults()
 	}
 	// The flag package stops at the first positional; re-parse the remainder
@@ -78,7 +91,7 @@ func run(args []string) error {
 			fs.Usage()
 			return fmt.Errorf("-compare needs exactly two files, got %d", len(files))
 		}
-		return compareFiles(files[0], files[1], *tolerance, *metrics, os.Stdout)
+		return compareFiles(files[0], files[1], *tolerance, *metrics, *allowMissing, os.Stdout)
 	}
 	if len(files) != 0 {
 		fs.Usage()

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -11,6 +13,7 @@ import (
 	"strings"
 
 	"varbench"
+	"varbench/store"
 )
 
 // runCompare implements the `varbench compare` subcommand: the recommended
@@ -19,7 +22,8 @@ import (
 // (single benchmark) or dataset,score pairs (multi-dataset comparison with
 // a Bonferroni-adjusted threshold); a non-numeric first line is treated as
 // a header and skipped.
-func runCompare(args []string, w io.Writer) error {
+func runCompare(ctx context.Context, args []string, w io.Writer) error {
+	_ = ctx // reserved: the analysis is CPU-bound and completes in one shot
 	fs := flag.NewFlagSet("varbench compare", flag.ContinueOnError)
 	fileA := fs.String("a", "", "CSV scores of algorithm A (required)")
 	fileB := fs.String("b", "", "CSV scores of algorithm B (required)")
@@ -29,6 +33,7 @@ func runCompare(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "bootstrap seed")
 	unpaired := fs.Bool("unpaired", false, "scores were not collected under shared seeds (single dataset only)")
 	format := fs.String("format", "text", "output format: text, json or csv")
+	storeDir := fs.String("store", "", "result-store directory: the analysis is cached by a fingerprint of the score files and protocol flags, and reused verbatim when nothing changed")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench compare -a scoresA.csv -b scoresB.csv [flags]")
 		fmt.Fprintln(fs.Output(), "score files: one score per line, or dataset,score rows for multi-dataset runs")
@@ -53,11 +58,11 @@ func runCompare(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown format %q (want text, json or csv)", *format)
 	}
 
-	scoresA, err := readScores(*fileA)
+	scoresA, rawA, err := readScores(*fileA)
 	if err != nil {
 		return err
 	}
-	scoresB, err := readScores(*fileB)
+	scoresB, rawB, err := readScores(*fileB)
 	if err != nil {
 		return err
 	}
@@ -66,6 +71,37 @@ func runCompare(args []string, w io.Writer) error {
 		varbench.WithConfidence(*confidence),
 		varbench.WithBootstrap(*bootstrap),
 		varbench.WithSeed(*seed),
+	}
+
+	// With -store, the complete Result is cached under a fingerprint of
+	// every input that determines it — the raw score files and the protocol
+	// flags (-format is deliberately excluded: one cached analysis renders
+	// as text, JSON or CSV alike). An unchanged rerun decodes the cached
+	// result instead of redoing the bootstrap; any input change misses the
+	// fingerprint and recomputes.
+	const compareKey = "varbench-compare/analysis"
+	var st *store.Store
+	var resultFP string
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+		defer st.Close()
+		resultFP = store.Fingerprint(
+			"varbench-compare/v1",
+			string(rawA), string(rawB),
+			fmt.Sprintf("gamma=%v/confidence=%v/bootstrap=%d/seed=%d/unpaired=%t",
+				*gamma, *confidence, *bootstrap, *seed, *unpaired),
+		)
+		var cached varbench.Result
+		ok, err := st.GetJSON(compareKey, resultFP, &cached)
+		if err != nil {
+			return err
+		}
+		if ok {
+			fmt.Fprintf(os.Stderr, "varbench: store %s: analysis reused\n", st.Path())
+			return cached.Render(w, ren)
+		}
 	}
 
 	var res *varbench.Result
@@ -104,6 +140,11 @@ func runCompare(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if st != nil {
+		if err := st.PutJSON(compareKey, resultFP, res); err != nil {
+			return err
+		}
+	}
 	return res.Render(w, ren)
 }
 
@@ -137,17 +178,21 @@ func (s *scoreFile) add(dataset string, v float64) {
 	s.byDataset[dataset] = append(s.byDataset[dataset], v)
 }
 
-func readScores(path string) (*scoreFile, error) {
-	f, err := os.Open(path)
+// readScores reads and parses one score CSV. The raw bytes are returned
+// alongside the parsed scores so the -store fingerprint can hash exactly
+// what was analyzed: re-reading the file for hashing would open a window
+// in which a concurrently rewritten file poisons the cache (analysis of
+// the old bytes stored under the new bytes' fingerprint).
+func readScores(path string) (*scoreFile, []byte, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	defer f.Close()
-	cr := csv.NewReader(f)
+	cr := csv.NewReader(bytes.NewReader(data))
 	cr.FieldsPerRecord = -1
 	records, err := cr.ReadAll()
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	out := &scoreFile{}
 	for i, rec := range records {
@@ -158,7 +203,7 @@ func readScores(path string) (*scoreFile, error) {
 		case 2:
 			dataset, field = rec[0], rec[1]
 		default:
-			return nil, fmt.Errorf("%s:%d: want `score` or `dataset,score`, got %d fields", path, i+1, len(rec))
+			return nil, nil, fmt.Errorf("%s:%d: want `score` or `dataset,score`, got %d fields", path, i+1, len(rec))
 		}
 		v, err := strconv.ParseFloat(field, 64)
 		if err != nil {
@@ -167,17 +212,17 @@ func readScores(path string) (*scoreFile, error) {
 			if i == 0 && !strings.ContainsAny(field, "0123456789") {
 				continue
 			}
-			return nil, fmt.Errorf("%s:%d: bad score %q", path, i+1, field)
+			return nil, nil, fmt.Errorf("%s:%d: bad score %q", path, i+1, field)
 		}
 		// NaN/Inf (failed runs in exported logs) would silently bias
 		// P(A>B) and break JSON output; reject them up front.
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("%s:%d: non-finite score %q", path, i+1, field)
+			return nil, nil, fmt.Errorf("%s:%d: non-finite score %q", path, i+1, field)
 		}
 		out.add(dataset, v)
 	}
 	if len(out.datasets) == 0 {
-		return nil, fmt.Errorf("%s: no scores found", path)
+		return nil, nil, fmt.Errorf("%s: no scores found", path)
 	}
-	return out, nil
+	return out, data, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -49,7 +50,7 @@ func TestCompareSubcommandText(t *testing.T) {
 	fa := writeScores(t, "a.csv", "", a)
 	fb := writeScores(t, "b.csv", "", b)
 	var buf bytes.Buffer
-	if err := run([]string{"compare", "-a", fa, "-b", fb}, &buf); err != nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -66,7 +67,7 @@ func TestCompareSubcommandJSON(t *testing.T) {
 	fa := writeScores(t, "a.csv", "", a)
 	fb := writeScores(t, "b.csv", "", b)
 	var buf bytes.Buffer
-	if err := run([]string{"compare", "-a", fa, "-b", fb, "-format", "json", "-gamma", "0.6"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb, "-format", "json", "-gamma", "0.6"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var res varbench.Result
@@ -100,7 +101,7 @@ func TestCompareSubcommandMultiDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"compare", "-a", fa, "-b", fb, "-format", "csv"}, &out); err != nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb, "-format", "csv"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -123,11 +124,11 @@ func TestCompareSubcommandHeaderAndUnpaired(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	// Unequal lengths require -unpaired.
-	if err := run([]string{"compare", "-a", fa, "-b", fb}, &buf); err == nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb}, &buf); err == nil {
 		t.Error("unequal paired lengths accepted")
 	}
 	buf.Reset()
-	if err := run([]string{"compare", "-a", fa, "-b", fb, "-unpaired"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb, "-unpaired"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -139,38 +140,38 @@ func TestCompareSubcommandSingleDatasetNameMismatch(t *testing.T) {
 	fa := writeScores(t, "a.csv", "mnist", a)
 	fb := writeScores(t, "b.csv", "cifar", b)
 	var buf bytes.Buffer
-	if err := run([]string{"compare", "-a", fa, "-b", fb}, &buf); err == nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb}, &buf); err == nil {
 		t.Error("mismatched single dataset names accepted")
 	}
 	// Same name is fine.
 	fb2 := writeScores(t, "b2.csv", "mnist", b)
-	if err := run([]string{"compare", "-a", fa, "-b", fb2}, &buf); err != nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb2}, &buf); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCompareSubcommandErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"compare"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"compare"}, &buf); err == nil {
 		t.Error("missing score files accepted")
 	}
-	if err := run([]string{"compare", "-a", "nope.csv", "-b", "nope.csv"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"compare", "-a", "nope.csv", "-b", "nope.csv"}, &buf); err == nil {
 		t.Error("missing file accepted")
 	}
 	a, b := pairedScores(3, 10, 1)
 	fa := writeScores(t, "a.csv", "", a)
 	fb := writeScores(t, "b.csv", "", b)
-	if err := run([]string{"compare", "-a", fa, "-b", fb, "-format", "yaml"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb, "-format", "yaml"}, &buf); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run([]string{"compare", "-a", fa, "-b", fb, "-gamma", "0.3"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"compare", "-a", fa, "-b", fb, "-gamma", "0.3"}, &buf); err == nil {
 		t.Error("invalid γ accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.csv")
 	if err := os.WriteFile(bad, []byte("1\nnot-a-number\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"compare", "-a", bad, "-b", fb}, &buf); err == nil {
+	if err := run(context.Background(), []string{"compare", "-a", bad, "-b", fb}, &buf); err == nil {
 		t.Error("malformed score accepted")
 	}
 	// A malformed *first* score (contains digits) is corruption, not a
@@ -179,7 +180,7 @@ func TestCompareSubcommandErrors(t *testing.T) {
 	if err := os.WriteFile(typo, []byte("O.85\n0.9\n0.91\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"compare", "-a", typo, "-b", fb, "-unpaired"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"compare", "-a", typo, "-b", fb, "-unpaired"}, &buf); err == nil {
 		t.Error("typo'd first score silently dropped as a header")
 	}
 }

@@ -33,11 +33,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"varbench/internal/casestudy"
@@ -48,7 +53,33 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C and SIGTERM cancel the collection context instead of killing
+	// the process mid-write: the worker pool drains, in-flight trials
+	// finish and land in the trial store (if -store is set), and the run
+	// exits cleanly resumable — with the conventional 128+signum code
+	// (130 for SIGINT, 143 for SIGTERM) so supervisors can tell an
+	// operator interrupt from a termination. After the first signal the
+	// handler unregisters, so a second signal kills immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	var caught atomic.Value // os.Signal
+	go func() {
+		if sig, ok := <-sigCh; ok {
+			caught.Store(sig)
+			signal.Stop(sigCh)
+			cancel()
+		}
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if sig, _ := caught.Load().(os.Signal); sig != nil && errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "varbench: interrupted (%v) — completed trials were saved if -store was set; rerun the same command to resume\n", sig)
+			if sig == syscall.SIGTERM {
+				os.Exit(143)
+			}
+			os.Exit(130)
+		}
 		// Library errors already carry the package prefix; avoid printing
 		// "varbench: varbench: ...".
 		fmt.Fprintln(os.Stderr, "varbench:", strings.TrimPrefix(err.Error(), "varbench: "))
@@ -56,14 +87,14 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	// The compare and variance subcommands have their own flag sets and no
 	// timing footer.
 	if len(args) > 0 && args[0] == "compare" {
-		return runCompare(args[1:], w)
+		return runCompare(ctx, args[1:], w)
 	}
 	if len(args) > 0 && args[0] == "variance" {
-		return runVariance(args[1:], w)
+		return runVariance(ctx, args[1:], w)
 	}
 
 	fs := flag.NewFlagSet("varbench", flag.ContinueOnError)
@@ -169,7 +200,7 @@ func run(args []string, w io.Writer) error {
 			"figH5", "fig6", "figC1", "figF2", "figG3", "figI6", "table8", "appendixC"} {
 			fmt.Fprintf(w, "\n===== %s =====\n", sub)
 			rebuilt := append([]string{sub}, args[1:]...)
-			if err := run(rebuilt, w); err != nil {
+			if err := run(ctx, rebuilt, w); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}
 		}

@@ -2,34 +2,35 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunRequiresExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(nil, &buf); err == nil {
+	if err := run(context.Background(), nil, &buf); err == nil {
 		t.Fatal("missing experiment should error")
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"figZZ"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"figZZ"}, &buf); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
 
 func TestRunUnknownTask(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"fig1", "-quick", "-tasks", "nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"fig1", "-quick", "-tasks", "nope"}, &buf); err == nil {
 		t.Fatal("unknown task should error")
 	}
 }
 
 func TestRunFigC1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"figC1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"figC1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -43,14 +44,14 @@ func TestRunFigC1(t *testing.T) {
 
 func TestRunSpacesAndEnv(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"spaces", "-tasks", "mhc-mlp"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"spaces", "-tasks", "mhc-mlp"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "hidden") {
 		t.Error("spaces output missing hyperparameter")
 	}
 	buf.Reset()
-	if err := run([]string{"env"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"env"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "go version") {
@@ -63,7 +64,7 @@ func TestRunFigI6Quick(t *testing.T) {
 		t.Skip("simulation experiment")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"figI6", "-quick"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"figI6", "-quick"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "prob-outperform") {
@@ -76,7 +77,7 @@ func TestRunTable8(t *testing.T) {
 		t.Skip("training experiment")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"table8", "-quick"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"table8", "-quick"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"varbench/store"
+)
+
+// TestVarianceCommandStoreResume: with -store, an interrupted `varbench
+// variance` run leaves a trial log a rerun resumes from, and the resumed
+// report is byte-identical to a storeless run.
+func TestVarianceCommandStoreResume(t *testing.T) {
+	dir := t.TempDir()
+
+	var clean bytes.Buffer
+	if err := run(context.Background(), varianceArgs("-p", "2"), &clean); err != nil {
+		t.Fatal(err)
+	}
+
+	// An already-canceled context models SIGINT landing before any trial:
+	// the run must fail with the context error (main translates it into
+	// the "interrupted" message and exit 130), not render a report.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var interrupted bytes.Buffer
+	err := run(ctx, varianceArgs("-p", "2", "-store", dir), &interrupted)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run: want context.Canceled, got %v", err)
+	}
+	if interrupted.Len() != 0 {
+		t.Errorf("canceled run must not render a report, got:\n%s", interrupted.String())
+	}
+
+	// First real run populates the store; the rerun is served from it.
+	// Both must match the storeless report byte for byte.
+	var first, second bytes.Buffer
+	if err := run(context.Background(), varianceArgs("-p", "2", "-store", dir), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != clean.String() {
+		t.Errorf("-store run differs from storeless run:\n%s\n---\n%s", first.String(), clean.String())
+	}
+	if err := run(context.Background(), varianceArgs("-p", "2", "-store", dir), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != clean.String() {
+		t.Errorf("cached rerun differs from storeless run:\n%s\n---\n%s", second.String(), clean.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, store.LogName)); err != nil {
+		t.Errorf("store log missing: %v", err)
+	}
+}
+
+// TestVarianceCommandStoreIsolatesSpecs: changing the structural seed (a
+// different synthetic task distribution, same task name) must miss the
+// cache — the pipeline identity is part of the spec fingerprint.
+func TestVarianceCommandStoreIsolatesSpecs(t *testing.T) {
+	dir := t.TempDir()
+	var a, b bytes.Buffer
+	if err := run(context.Background(), varianceArgs("-p", "1", "-store", dir), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), varianceArgs("-p", "1", "-store", dir, "-structseed", "99"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("different structseed produced identical reports — stale cache served?")
+	}
+}
+
+// TestCompareCommandStoreReuse: with -store, an unchanged `varbench
+// compare` rerun serves the cached analysis with byte-identical output,
+// and any input change recomputes.
+func TestCompareCommandStoreReuse(t *testing.T) {
+	dir := t.TempDir()
+	tmp := t.TempDir()
+	fa := filepath.Join(tmp, "a.csv")
+	fb := filepath.Join(tmp, "b.csv")
+	if err := os.WriteFile(fa, []byte("0.91\n0.93\n0.90\n0.92\n0.94\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fb, []byte("0.85\n0.86\n0.84\n0.83\n0.87\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"compare", "-a", fa, "-b", fb, "-store", dir, "-format", "json"}
+
+	var fresh, cached bytes.Buffer
+	if err := run(context.Background(), args, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.String() != cached.String() {
+		t.Errorf("cached compare differs:\n%s\n---\n%s", fresh.String(), cached.String())
+	}
+	if !strings.Contains(fresh.String(), `"conclusion"`) {
+		t.Errorf("missing conclusion in output:\n%s", fresh.String())
+	}
+
+	// One cached analysis renders in every format.
+	var asText bytes.Buffer
+	textArgs := []string{"compare", "-a", fa, "-b", fb, "-store", dir}
+	if err := run(context.Background(), textArgs, &asText); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asText.String(), "P(A>B)") {
+		t.Errorf("text render of cached analysis:\n%s", asText.String())
+	}
+
+	// A different protocol flag misses the fingerprint and recomputes.
+	var other bytes.Buffer
+	if err := run(context.Background(), append(args, "-gamma", "0.6"), &other); err != nil {
+		t.Fatal(err)
+	}
+	if other.String() == fresh.String() {
+		t.Error("different -gamma served the old cached analysis")
+	}
+}

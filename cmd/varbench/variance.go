@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"varbench"
@@ -13,6 +14,7 @@ import (
 	"varbench/internal/experiments"
 	"varbench/internal/pipeline"
 	"varbench/internal/xrand"
+	"varbench/store"
 )
 
 // runVariance implements the `varbench variance` subcommand: a
@@ -22,7 +24,7 @@ import (
 // probes each source with fixed default hyperparameters (the FixHOptEst
 // regime, O(k+T) trainings); use the fig1/fig5 experiments for the full
 // ideal-estimator studies.
-func runVariance(args []string, w io.Writer) error {
+func runVariance(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("varbench variance", flag.ContinueOnError)
 	taskName := fs.String("task", "tiny", "case study: tiny, rte-bert, sst2-bert, mhc-mlp, pascalvoc-resnet or cifar10-vgg11")
 	sources := fs.String("sources", "", "comma-separated ξO sources or sets (init, data, learning, weights-init, ...); default: the task's own ξO sources")
@@ -33,6 +35,7 @@ func runVariance(args []string, w io.Writer) error {
 	par := fs.Int("p", 0, "worker-pool size (0 = GOMAXPROCS); results are identical at any setting")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	curves := fs.Bool("curves", false, "render SE-vs-k curves (text format only)")
+	storeDir := fs.String("store", "", "durable trial-store directory: completed measures are appended as they finish and reused on rerun, so an interrupted study resumes where it stopped")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench variance [-task name] [-sources spec] [flags]")
 		fmt.Fprintln(fs.Output(), "decomposes a benchmark's variance across its sources of variation")
@@ -114,7 +117,27 @@ func runVariance(args []string, w io.Writer) error {
 		Seed:         *seed,
 		Parallelism:  *par,
 	}
-	rep, err := study.Run(context.Background())
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		study.Store = st
+		// The store cannot hash pipeline code; identify this command's
+		// pipeline by everything that changes what a trial measures: the
+		// task and the structural seed its synthetic distribution (and
+		// default hyperparameters) derive from.
+		study.PipelineID = fmt.Sprintf("varbench-variance/task=%s/structseed=%d", task.Name(), *structSeed)
+		defer func() {
+			// The cache note goes to stderr so stdout stays byte-comparable
+			// between cached and uncached runs.
+			hits, misses := st.Stats()
+			fmt.Fprintf(os.Stderr, "varbench: store %s: %d trial(s) reused, %d computed\n",
+				st.Path(), hits, misses)
+		}()
+	}
+	rep, err := study.Run(ctx)
 	if err != nil {
 		return err
 	}

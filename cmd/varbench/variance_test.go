@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"regexp"
 	"strings"
@@ -23,11 +24,11 @@ func TestVarianceCommandDeterministicAcrossParallelism(t *testing.T) {
 	elapsed := regexp.MustCompile(`"elapsed_ns": \d+`)
 	for _, format := range []string{"text", "json"} {
 		var ref bytes.Buffer
-		if err := run(varianceArgs("-p", "1", "-format", format), &ref); err != nil {
+		if err := run(context.Background(), varianceArgs("-p", "1", "-format", format), &ref); err != nil {
 			t.Fatal(err)
 		}
 		var par bytes.Buffer
-		if err := run(varianceArgs("-p", "4", "-format", format), &par); err != nil {
+		if err := run(context.Background(), varianceArgs("-p", "4", "-format", format), &par); err != nil {
 			t.Fatal(err)
 		}
 		refOut := elapsed.ReplaceAllString(ref.String(), `"elapsed_ns": 0`)
@@ -41,7 +42,7 @@ func TestVarianceCommandDeterministicAcrossParallelism(t *testing.T) {
 
 func TestVarianceCommandTextOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(varianceArgs("-p", "1"), &buf); err != nil {
+	if err := run(context.Background(), varianceArgs("-p", "1"), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +61,7 @@ func TestVarianceCommandTextOutput(t *testing.T) {
 		t.Error("curves rendered without -curves")
 	}
 	buf.Reset()
-	if err := run(varianceArgs("-p", "1", "-curves"), &buf); err != nil {
+	if err := run(context.Background(), varianceArgs("-p", "1", "-curves"), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "SE of mean vs k") {
@@ -70,7 +71,7 @@ func TestVarianceCommandTextOutput(t *testing.T) {
 
 func TestVarianceCommandJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(varianceArgs("-p", "1", "-format", "json"), &buf); err != nil {
+	if err := run(context.Background(), varianceArgs("-p", "1", "-format", "json"), &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep varbench.VarianceReport
@@ -90,7 +91,7 @@ func TestVarianceCommandJSONOutput(t *testing.T) {
 
 func TestVarianceCommandSourcesFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(varianceArgs("-p", "1", "-sources", "init,data", "-format", "csv"), &buf); err != nil {
+	if err := run(context.Background(), varianceArgs("-p", "1", "-sources", "init,data", "-format", "csv"), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -121,7 +122,7 @@ func TestVarianceCommandErrors(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
-			err := run(tc.args, &buf)
+			err := run(context.Background(), tc.args, &buf)
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("want error containing %q, got %v", tc.want, err)
 			}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"varbench/store"
 )
 
 // The collection engine: a bounded worker pool executing one batch of
@@ -14,33 +16,92 @@ import (
 // is identical at any parallelism. Multi-dataset experiments run one such
 // pool per dataset concurrently. Cancellation is observed between runs; a
 // run already started is allowed to finish.
+//
+// When a trial store is attached, the engine is cache-first: each (trial,
+// side) cell is looked up before the pipeline runs, and every freshly
+// measured score is appended to the store as soon as it exists — not at the
+// end of the run — so an interrupted collection leaves every completed
+// trial durable. Because a cell's score is a pure function of its identity,
+// serving it from the store is bit-identical to recomputing it, and cache
+// hits cannot perturb parallelism-independence.
+
+// A trialCache adapts a store.Store to one dataset's collection: it holds
+// the spec fingerprint and key parts shared by all of the dataset's trials.
+// A nil *trialCache is a valid always-miss cache.
+type trialCache struct {
+	store   *store.Store
+	fp      string
+	seed    uint64
+	dataset string
+}
+
+// get returns the cached score of one (trial, side) cell.
+func (c *trialCache) get(index int, side string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	return c.store.Get(store.TrialKey(c.seed, c.dataset, index, side), c.fp)
+}
+
+// put durably records one freshly measured score.
+func (c *trialCache) put(index int, side string, score float64) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.store.Put(store.TrialKey(c.seed, c.dataset, index, side), c.fp, score); err != nil {
+		return fmt.Errorf("varbench: trial store: %w", err)
+	}
+	return nil
+}
+
+// lookup serves one cell cache-first: on a miss it runs the pipeline and
+// records the score before returning it.
+func (c *trialCache) lookup(t Trial, side string, run TrialFunc, label string) (float64, error) {
+	if v, ok := c.get(t.Index, side); ok {
+		return v, nil
+	}
+	v, err := run(t)
+	if err != nil {
+		return 0, fmt.Errorf("varbench: %salgorithm %s run %d: %w", label, side, t.Index, err)
+	}
+	return v, c.put(t.Index, side, v)
+}
 
 // collectPairs measures one batch of paired trials: trial i feeds both
 // pipelines, outA[i] and outB[i] receive the scores. label names the
 // dataset in errors ("" for single-dataset experiments).
-func collectPairs(ctx context.Context, label string, runA, runB TrialFunc, trials []Trial, outA, outB []float64, workers int) error {
+func collectPairs(ctx context.Context, label string, cache *trialCache, runA, runB TrialFunc, trials []Trial, outA, outB []float64, workers int) error {
 	return collectWith(ctx, trials, workers, func(i int) error {
 		t := trials[i]
-		a, err := runA(t)
+		a, err := cache.lookup(t, "A", runA, label)
 		if err != nil {
-			return fmt.Errorf("varbench: %salgorithm A run %d: %w", label, t.Index, err)
+			return err
 		}
-		b, err := runB(t)
+		b, err := cache.lookup(t, "B", runB, label)
 		if err != nil {
-			return fmt.Errorf("varbench: %salgorithm B run %d: %w", label, t.Index, err)
+			return err
 		}
 		outA[i], outB[i] = a, b
 		return nil
 	})
 }
 
-// collectRuns measures a single pipeline once per trial.
-func collectRuns(ctx context.Context, run TrialFunc, trials []Trial, out []float64, workers int) error {
+// collectRuns measures a single pipeline once per trial. Stored cells use
+// side "A", so a study's single-pipeline measurements and an experiment's
+// A-side trials address the same cache cells.
+func collectRuns(ctx context.Context, cache *trialCache, run TrialFunc, trials []Trial, out []float64, workers int) error {
 	return collectWith(ctx, trials, workers, func(i int) error {
 		t := trials[i]
-		v, err := run(t)
-		if err != nil {
-			return fmt.Errorf("varbench: run %d: %w", t.Index, err)
+		v, ok := cache.get(t.Index, "A")
+		if !ok {
+			var err error
+			v, err = run(t)
+			if err != nil {
+				return fmt.Errorf("varbench: run %d: %w", t.Index, err)
+			}
+			if err := cache.put(t.Index, "A", v); err != nil {
+				return err
+			}
 		}
 		out[i] = v
 		return nil

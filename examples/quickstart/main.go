@@ -12,11 +12,17 @@
 //  3. the conclusion is the probability of outperforming P(A>B) with its
 //     bootstrap confidence interval, not a bare average difference.
 //
-// Run: go run ./examples/quickstart
+// Run: go run ./examples/quickstart [-store dir]
+//
+// With -store dir, collection is durable: every completed run is appended
+// to dir/trials.jsonl the moment it finishes, a killed experiment resumes
+// where it stopped on rerun, and an unchanged rerun replays entirely from
+// cache (watch the Progress lines complete instantly the second time).
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -26,9 +32,12 @@ import (
 	"varbench/internal/hpo"
 	"varbench/internal/pipeline"
 	"varbench/internal/xrand"
+	"varbench/store"
 )
 
 func main() {
+	storeDir := flag.String("store", "", "durable trial store directory (resumable runs; empty = recompute everything)")
+	flag.Parse()
 	task := casestudy.Tiny(1)
 
 	// A RunFunc executes one full benchmark measurement: fresh seeds for
@@ -51,6 +60,18 @@ func main() {
 		Progress: func(p varbench.Progress) {
 			fmt.Printf("collected %d/%d pairs...\n", p.Pairs, p.MaxRuns)
 		},
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		exp.Store = st
+		// Identify the pipelines: the store serves side A/B cells to any
+		// experiment with the same ID and seed, so the ID must change when
+		// the algorithms (here, their learning rates) do.
+		exp.PipelineID = "quickstart/lr=0.05-vs-0.004"
 	}
 	res, err := exp.Run(context.Background())
 	if err != nil {

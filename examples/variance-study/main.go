@@ -10,7 +10,13 @@
 // (source × realization) cells fan out across a worker pool and the report
 // is bit-identical at any -p.
 //
-// Run: go run ./examples/variance-study [-task name] [-k measures] [-r realizations] [-p workers]
+// With -store DIR the study is durable and resumable: every completed
+// measure is appended to DIR/trials.jsonl as soon as it exists, so a killed
+// run (Ctrl-C, OOM, preemption) reuses all completed work on rerun instead
+// of recomputing it — and a later study with a bigger -k or a subset of the
+// sources shares the recorded cells too.
+//
+// Run: go run ./examples/variance-study [-task name] [-k measures] [-r realizations] [-p workers] [-store dir]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"varbench/internal/casestudy"
 	"varbench/internal/pipeline"
 	"varbench/internal/xrand"
+	"varbench/store"
 )
 
 func main() {
@@ -32,6 +39,7 @@ func main() {
 	realizations := flag.Int("r", 3, "independent realizations (paper: 20)")
 	workers := flag.Int("p", 0, "worker-pool size (0 = GOMAXPROCS)")
 	curves := flag.Bool("curves", false, "render SE-vs-k curves")
+	storeDir := flag.String("store", "", "durable trial store directory (resumable runs; empty = recompute everything)")
 	flag.Parse()
 
 	task, err := casestudy.ByName(*taskName, 20210301)
@@ -69,6 +77,21 @@ func main() {
 		Realizations: *realizations,
 		Seed:         7,
 		Parallelism:  *workers,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		study.Store = st
+		// The store cannot hash pipeline code: the ID must change whenever
+		// the measurement itself would (here, when the task changes).
+		study.PipelineID = "variance-study-example/" + task.Name()
+		defer func() {
+			hits, misses := st.Stats()
+			fmt.Fprintf(os.Stderr, "store: %d measure(s) reused, %d computed\n", hits, misses)
+		}()
 	}
 	rep, err := study.Run(context.Background())
 	if err != nil {

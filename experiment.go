@@ -8,6 +8,7 @@ import (
 
 	"varbench/internal/stats"
 	"varbench/internal/xrand"
+	"varbench/store"
 )
 
 // RunFunc executes one complete benchmark measurement of a learning
@@ -143,6 +144,22 @@ type Experiment struct {
 	AnalysisParallelism int
 	// EarlyStop selects the stopping policy (default EarlyStopAuto).
 	EarlyStop EarlyStopPolicy
+
+	// Store, when set, makes collection durable and resumable: every
+	// completed (trial, side) measurement is appended to the store as soon
+	// as it exists, and trials already recorded under this spec's
+	// fingerprint are served from the store instead of re-running the
+	// pipeline. Because trial seeds depend only on (Seed, dataset, index),
+	// cache hits are bit-identical to recomputation at any Parallelism, and
+	// an interrupted Run resumes exactly where it stopped when re-run with
+	// the same store. See WithStore and the store package.
+	Store *store.Store
+	// PipelineID names the pipeline implementation inside the store's spec
+	// fingerprint. The store cannot hash code: two experiments sharing a
+	// store directory but running different pipelines must set distinct
+	// IDs, or stale scores would be served as fresh. Empty is a valid ID
+	// (one store directory per pipeline needs no label).
+	PipelineID string
 
 	// Unpaired only affects the score-level Analyze entry point; see
 	// WithUnpaired.
@@ -296,13 +313,14 @@ func (e Experiment) Collect(ctx context.Context) ([]float64, error) {
 		return nil, err
 	}
 	stream := cfg.trialStream("")
+	cache := cfg.trialCache("")
 	batch := make([]Trial, 0, cfg.BatchSize)
 	var out []float64
 	for lo := 0; lo < cfg.MaxRuns; lo += cfg.BatchSize {
 		hi := min(lo+cfg.BatchSize, cfg.MaxRuns)
 		batch = stream.take(batch[:0], hi-lo)
 		out = append(out, make([]float64, hi-lo)...)
-		if err := collectRuns(ctx, run, batch, out[lo:hi], cfg.Parallelism); err != nil {
+		if err := collectRuns(ctx, cache, run, batch, out[lo:hi], cfg.Parallelism); err != nil {
 			return nil, err
 		}
 		if cfg.Progress != nil {
@@ -415,6 +433,7 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 		return nil, err
 	}
 	stream := e.trialStream(ds.Name)
+	cache := e.trialCache(ds.Name)
 	label := ""
 	if ds.Name != "" {
 		label = "dataset " + ds.Name + ": "
@@ -438,7 +457,7 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 		batch = stream.take(batch[:0], hi-lo)
 		outA = append(outA, make([]float64, hi-lo)...)
 		outB = append(outB, make([]float64, hi-lo)...)
-		if err := collectPairs(ctx, label, runA, runB, batch, outA[lo:hi], outB[lo:hi], e.Parallelism); err != nil {
+		if err := collectPairs(ctx, label, cache, runA, runB, batch, outA[lo:hi], outB[lo:hi], e.Parallelism); err != nil {
 			return nil, err
 		}
 		n = hi
@@ -488,6 +507,39 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 		EarlyStopped: n < e.MaxRuns,
 		StopReason:   stop,
 	}, nil
+}
+
+// trialCache prepares the store adapter for one dataset's collection, or
+// nil (always-miss) when no store is attached.
+func (e *Experiment) trialCache(dataset string) *trialCache {
+	if e.Store == nil {
+		return nil
+	}
+	return &trialCache{store: e.Store, fp: e.specFingerprint(), seed: e.Seed, dataset: dataset}
+}
+
+// specFingerprint hashes the parts of the spec that change what a trial
+// measures: the pipeline identity and the varied-source assignment. It
+// deliberately excludes MaxRuns, BatchSize, Parallelism, early stopping and
+// every analysis knob — none of them affect a trial's seeds — so raising a
+// budget, changing worker counts or re-running after an interrupt reuses
+// every recorded trial, and overlapping studies share identical cells. A
+// record whose fingerprint does not match is rejected (recomputed), never
+// silently reused.
+func (e *Experiment) specFingerprint() string {
+	varied := e.Sources
+	restricted := len(varied) > 0
+	if !restricted {
+		varied = AllSources()
+	}
+	return store.Fingerprint(
+		"varbench/spec/v1",
+		"pipeline="+e.PipelineID,
+		// Restriction changes how unknown custom labels derive (fixedRoot
+		// vs per-trial), even when the varied set is identical.
+		fmt.Sprintf("restricted=%t", restricted),
+		"varied="+canonicalSourceLabels(varied),
+	)
 }
 
 // datasetRoot derives the seed root of one dataset's collection stream.

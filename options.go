@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"varbench/internal/stats"
+	"varbench/store"
 )
 
 // Default knobs of the recommended protocol.
@@ -92,6 +93,18 @@ func WithEarlyStop(p EarlyStopPolicy) Option { return func(e *Experiment) { e.Ea
 func WithSources(sources ...Source) Option {
 	return func(e *Experiment) { e.Sources = sources }
 }
+
+// WithStore attaches a durable trial store: completed measurements are
+// appended as soon as they exist and trials already recorded under the same
+// spec fingerprint are served from the store instead of re-running the
+// pipeline, making interrupted runs resumable and identical cells shareable
+// across overlapping experiments. See Experiment.Store.
+func WithStore(s *store.Store) Option { return func(e *Experiment) { e.Store = s } }
+
+// WithPipelineID names the pipeline implementation inside the trial store's
+// spec fingerprint, isolating different pipelines that share one store
+// directory. See Experiment.PipelineID.
+func WithPipelineID(id string) Option { return func(e *Experiment) { e.PipelineID = id } }
 
 // WithUnpaired marks pre-collected scores as unpaired, switching Analyze to
 // the Mann-Whitney estimate of P(A>B). It has no effect on Experiment.Run,

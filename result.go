@@ -10,9 +10,17 @@ import (
 	"time"
 
 	"varbench/internal/compare"
+	"varbench/internal/jsonx"
 	"varbench/internal/report"
 	"varbench/internal/stats"
 )
+
+// The report types marshal through jsonx so that NaN and ±Inf float fields
+// — an undefined Shapiro-Wilk p-value, a degenerate correlation, a
+// non-finite pipeline score — encode as JSON null instead of failing the
+// whole document: encoding/json rejects non-finite values outright with
+// "json: unsupported value: NaN". Decoding null back into a float64 field
+// leaves it at zero, per the encoding/json null rule.
 
 // Conclusion is the three-zone outcome of the recommended test.
 type Conclusion string
@@ -52,6 +60,13 @@ type Comparison struct {
 	N int `json:"n"`
 }
 
+// MarshalJSON implements json.Marshaler, encoding non-finite float fields
+// as null.
+func (c Comparison) MarshalJSON() ([]byte, error) {
+	type alias Comparison // drops methods: no recursion
+	return jsonx.Marshal(alias(c))
+}
+
 // String renders the comparison in one line.
 func (c Comparison) String() string {
 	return fmt.Sprintf(
@@ -88,6 +103,13 @@ type DatasetResult struct {
 	Pairs        int        `json:"pairs"`
 	EarlyStopped bool       `json:"early_stopped"`
 	StopReason   StopReason `json:"stop_reason,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, encoding non-finite float fields
+// (including non-finite scores) as null.
+func (d DatasetResult) MarshalJSON() ([]byte, error) {
+	type alias DatasetResult
+	return jsonx.Marshal(alias(d))
 }
 
 // Result is the complete outcome of an Experiment (or of the score-level
@@ -130,6 +152,13 @@ type Result struct {
 
 // Multi reports whether the result spans multiple datasets.
 func (r *Result) Multi() bool { return len(r.Datasets) > 1 }
+
+// MarshalJSON implements json.Marshaler, encoding non-finite float fields
+// as null.
+func (r Result) MarshalJSON() ([]byte, error) {
+	type alias Result
+	return jsonx.Marshal(alias(r))
+}
 
 // String renders the result with the default text renderer.
 func (r *Result) String() string {
@@ -506,13 +535,21 @@ func SampleSize(gamma float64) int {
 
 // VarianceSummary describes the spread of repeated benchmark measurements.
 type VarianceSummary struct {
-	N      int
-	Mean   float64
-	Std    float64
-	StdErr float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	StdErr float64 `json:"std_err"`
 	// NormalP is the Shapiro-Wilk p-value (NaN when n outside [3,5000]):
-	// small values warn that normal-theory intervals are unreliable.
-	NormalP float64
+	// small values warn that normal-theory intervals are unreliable. It
+	// marshals as null when NaN.
+	NormalP float64 `json:"normal_p"`
+}
+
+// MarshalJSON implements json.Marshaler, encoding the NaN NormalP sentinel
+// as null — encoding/json would otherwise fail the whole document.
+func (s VarianceSummary) MarshalJSON() ([]byte, error) {
+	type alias VarianceSummary
+	return jsonx.Marshal(alias(s))
 }
 
 // Summarize computes the variance summary of repeated measurements, e.g. of

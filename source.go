@@ -145,6 +145,23 @@ func ParseSources(spec string) ([]Source, error) {
 	return out, nil
 }
 
+// canonicalSourceLabels renders a source list as a canonical (sorted,
+// deduplicated, comma-joined) string for spec fingerprinting: the trial
+// store must treat {init, order} and {order, init} as the same varied set,
+// because per-source seeds derive from labels, not list positions.
+func canonicalSourceLabels(sources []Source) string {
+	labels := make([]string, 0, len(sources))
+	seen := make(map[Source]bool, len(sources))
+	for _, s := range sources {
+		if !seen[s] {
+			seen[s] = true
+			labels = append(labels, string(s))
+		}
+	}
+	sort.Strings(labels)
+	return strings.Join(labels, ",")
+}
+
 // validSourceNames lists every accepted ParseSources token, sets first.
 func validSourceNames() string {
 	sets := make([]string, 0, len(sourceSets()))

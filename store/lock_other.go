@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op on platforms without flock: single-process use (the
+// supported mode everywhere) is unaffected; sharing one store directory
+// across concurrent processes is only guarded on unix.
+func lockFile(*os.File) error { return nil }

@@ -76,7 +76,7 @@ func CollectPaired(a, b RunFunc, n int, baseSeed uint64) (scoresA, scoresB []flo
 	}
 	scoresA = make([]float64, n)
 	scoresB = make([]float64, n)
-	if err := collectPairs(context.Background(), "", runA, runB, e.makeTrials(""), scoresA, scoresB, 1); err != nil {
+	if err := collectPairs(context.Background(), "", nil, runA, runB, e.makeTrials(""), scoresA, scoresB, 1); err != nil {
 		return nil, nil, err
 	}
 	return scoresA, scoresB, nil

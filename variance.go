@@ -10,6 +10,7 @@ import (
 	"varbench/internal/estimator"
 	"varbench/internal/stats"
 	"varbench/internal/xrand"
+	"varbench/store"
 )
 
 // Default knobs of a VarianceStudy.
@@ -80,6 +81,23 @@ type VarianceStudy struct {
 	// fan out across (default GOMAXPROCS). Results are identical at any
 	// setting.
 	Parallelism int
+
+	// Store, when set, makes the study durable and resumable: every
+	// completed measure is appended immediately, and cells already recorded
+	// are served from the store, so an interrupted Run resumes exactly
+	// where it stopped and studies sharing (Seed, source subsets) reuse
+	// each other's cells. Cell keys derive from the per-realization seed
+	// root and the varied-source fingerprint, so a study probing a subset
+	// of another's Sources — at the same Seed — reuses every per-source
+	// row. Its joint row is shared only when the varied set matches a
+	// recorded one: for a single-source study the joint row coincides with
+	// the source's own row (fully cached), while a multi-source subset's
+	// joint row is a new combination and is collected fresh. See
+	// Experiment.Store.
+	Store *store.Store
+	// PipelineID names the Pipeline implementation inside the store's spec
+	// fingerprint; see Experiment.PipelineID.
+	PipelineID string
 }
 
 // withDefaults returns a copy of s with zero-valued knobs replaced by their
@@ -190,6 +208,8 @@ func (s VarianceStudy) Run(ctx context.Context) (*VarianceReport, error) {
 			MaxRuns:     cfg.K,
 			BatchSize:   cfg.K,
 			Parallelism: 1, // the pool parallelizes across cells, not within
+			Store:       cfg.Store,
+			PipelineID:  cfg.PipelineID,
 		}
 		WithSeed(roots[c.realization])(&e)
 		out, err := e.Collect(cellCtx)

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"varbench/internal/jsonx"
 	"varbench/internal/report"
 )
 
@@ -25,6 +26,13 @@ type SECurve struct {
 	Band []float64 `json:"band,omitempty"`
 }
 
+// MarshalJSON implements json.Marshaler, encoding non-finite SE/Band values
+// as null (see the package note on jsonx in result.go).
+func (c SECurve) MarshalJSON() ([]byte, error) {
+	type alias SECurve
+	return jsonx.Marshal(alias(c))
+}
+
 // Decomposition is the Figure H.5 breakdown of the k-measure mean as an
 // estimator of expected performance: its bias against the study's reference
 // μ̂, its variance across realizations, the average correlation ρ between
@@ -34,6 +42,13 @@ type Decomposition struct {
 	Var  float64 `json:"var"`
 	Rho  float64 `json:"rho"`
 	MSE  float64 `json:"mse"`
+}
+
+// MarshalJSON implements json.Marshaler, encoding non-finite fields (ρ of a
+// zero-variance sample, for one) as null.
+func (d Decomposition) MarshalJSON() ([]byte, error) {
+	type alias Decomposition
+	return jsonx.Marshal(alias(d))
 }
 
 // SourceVariance is one row of a VarianceReport: the variance contributed by
@@ -59,6 +74,13 @@ type SourceVariance struct {
 	Measures [][]float64 `json:"measures,omitempty"`
 }
 
+// MarshalJSON implements json.Marshaler, encoding non-finite float fields —
+// including non-finite raw measures — as null.
+func (s SourceVariance) MarshalJSON() ([]byte, error) {
+	type alias SourceVariance
+	return jsonx.Marshal(alias(s))
+}
+
 // VarianceReport is the outcome of a VarianceStudy: the per-source variance
 // decomposition of one benchmark pipeline. Render it with one of the
 // VarianceRenderer implementations or read the fields directly.
@@ -81,6 +103,13 @@ type VarianceReport struct {
 	Joint SourceVariance `json:"joint"`
 	// Elapsed is the wall-clock collection time.
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, encoding non-finite float fields
+// as null.
+func (r VarianceReport) MarshalJSON() ([]byte, error) {
+	type alias VarianceReport
+	return jsonx.Marshal(alias(r))
 }
 
 // Rows returns every report row — the probed sources followed by the joint
