@@ -9,12 +9,15 @@ import (
 	"strings"
 )
 
-// defaultCompareMetrics are the regression-gated units: time and allocated
-// bytes per op. Iteration counts and custom b.ReportMetric units are
-// informational only — they are not comparable across -benchtime settings.
-// CI narrows the gate to B/op (machine-independent) when the baseline was
-// recorded on different hardware.
-const defaultCompareMetrics = "ns/op,B/op"
+// defaultCompareMetrics are the regression-gated units: time, allocated
+// bytes and allocations per op. Iteration counts and custom b.ReportMetric
+// units are informational only — they are not comparable across -benchtime
+// settings. CI narrows the gate to B/op,allocs/op (machine-independent)
+// when the baseline was recorded on different hardware. allocs/op gating
+// combined with the zero-baseline rule of regressed() is what keeps the
+// fused bootstrap kernels at 0 allocs/op: once a path records an
+// allocation-free baseline, any allocation at all fails the gate.
+const defaultCompareMetrics = "ns/op,B/op,allocs/op"
 
 // compareFiles loads two benchjson reports and fails (returns an error) when
 // any benchmark present in both regressed by more than tolerance on a gated

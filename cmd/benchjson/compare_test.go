@@ -246,3 +246,33 @@ func TestReportMarshalNaNMetric(t *testing.T) {
 		t.Errorf("finite metric lost: %+v", back.Benchmarks[0])
 	}
 }
+
+// TestCompareAllocsGate pins the tightened gate for the fused bootstrap
+// paths: allocs/op is a default-gated metric, and a 0 allocs/op baseline
+// fails on ANY allocation growth — relative tolerance has no meaning at
+// zero, and the kernels' allocation-freedom is part of their contract.
+func TestCompareAllocsGate(t *testing.T) {
+	if !strings.Contains(defaultCompareMetrics, "allocs/op") {
+		t.Fatalf("default gated metrics %q must include allocs/op", defaultCompareMetrics)
+	}
+	base := baselineReport()
+	base.Benchmarks[0].Metrics["allocs/op"] = 0
+	old := writeReport(t, "old.json", base)
+	rep := baselineReport()
+	rep.Benchmarks[0].Metrics["allocs/op"] = 1
+	newer := writeReport(t, "new.json", rep)
+	var buf bytes.Buffer
+	err := compareFiles(old, newer, 0.20, defaultCompareMetrics, false, &buf)
+	if err == nil {
+		t.Fatal("0 -> 1 allocs/op must fail the gate")
+	}
+	if !strings.Contains(buf.String(), "allocs/op") {
+		t.Errorf("allocs/op regression not reported:\n%s", buf.String())
+	}
+	// Unchanged allocs (and tolerated ns/op drift) still pass.
+	same := writeReport(t, "same.json", base)
+	buf.Reset()
+	if err := compareFiles(old, same, 0.20, defaultCompareMetrics, false, &buf); err != nil {
+		t.Fatalf("identical allocs must pass: %v\n%s", err, buf.String())
+	}
+}

@@ -11,7 +11,9 @@
 //
 // With -compare, benchjson instead diffs two archived documents and exits
 // nonzero when any benchmark present in both regressed beyond the tolerance
-// on ns/op or B/op — the CI benchmark-regression gate:
+// on ns/op, B/op or allocs/op — the CI benchmark-regression gate (a zero
+// baseline on the allocation metrics fails on any growth, keeping
+// allocation-free paths allocation-free):
 //
 //	benchjson -compare old.json new.json -tolerance 0.20
 package main

@@ -172,20 +172,24 @@ type Result struct {
 	Decision Decision
 }
 
-// pabStat is the plug-in estimator of P(A>B) over paired measures
-// (Equation 9): the fraction of pairs A wins, ties counted half. It is a
-// pure function, safe for concurrent bootstrap resampling.
-func pabStat(p []stats.Pair) float64 {
-	wins := 0.0
-	for _, pr := range p {
-		switch {
-		case pr.A > pr.B:
-			wins++
-		case pr.A == pr.B:
-			wins += 0.5
-		}
+// pabKernel is the plug-in estimator of P(A>B) over paired measures
+// (Equation 9) as a fused bootstrap kernel: the fraction of pairs A wins,
+// ties counted half, accumulated straight from sampled indices — the
+// recommended protocol's hot loop runs with no resample buffer and no
+// per-resample allocation.
+var pabKernel = stats.PABKernel{}
+
+// validate rejects statistical knobs the bootstrap cannot honor before they
+// reach the resampler: an explicit negative resample count or a confidence
+// level outside (0, 1). The zero values keep meaning "use the default".
+func (c PAB) validate() error {
+	if c.Bootstrap < 0 {
+		return fmt.Errorf("compare: bootstrap resamples must not be negative, got %d (0 means default)", c.Bootstrap)
 	}
-	return wins / float64(len(p))
+	if l := c.level(); math.IsNaN(l) || l <= 0 || l >= 1 {
+		return fmt.Errorf("compare: confidence level must be in (0, 1), got %v", c.Level)
+	}
+	return nil
 }
 
 // decide applies the three-zone decision rule of Appendix C.6.
@@ -207,8 +211,11 @@ func (c PAB) Evaluate(pairs []stats.Pair, r *xrand.Source) (Result, error) {
 	if len(pairs) < 2 {
 		return Result{}, fmt.Errorf("compare: need ≥ 2 pairs, got %d", len(pairs))
 	}
-	point := pabStat(pairs)
-	ci := stats.PairedPercentileBootstrap(pairs, pabStat, c.boots(), c.level(), r)
+	if err := c.validate(); err != nil {
+		return Result{}, err
+	}
+	point := pabKernel.Stat(pairs)
+	ci := stats.PairedPercentileBootstrapWith(pairs, pabKernel, c.boots(), c.level(), r)
 	return c.decide(point, ci), nil
 }
 
@@ -221,8 +228,11 @@ func (c PAB) EvaluateSharded(pairs []stats.Pair, seed uint64, workers int) (Resu
 	if len(pairs) < 2 {
 		return Result{}, fmt.Errorf("compare: need ≥ 2 pairs, got %d", len(pairs))
 	}
-	point := pabStat(pairs)
-	ci := stats.PairedPercentileBootstrapSharded(pairs, pabStat, c.boots(), c.level(), seed, workers)
+	if err := c.validate(); err != nil {
+		return Result{}, err
+	}
+	point := pabKernel.Stat(pairs)
+	ci := stats.PairedPercentileBootstrapKernel(pairs, pabKernel, c.boots(), c.level(), seed, workers)
 	return c.decide(point, ci), nil
 }
 
@@ -245,23 +255,19 @@ func (c PAB) EvaluateUnpaired(a, b []float64, r *xrand.Source) (Result, error) {
 	if len(a) < 2 || len(b) < 2 {
 		return Result{}, fmt.Errorf("compare: need ≥ 2 measures per algorithm")
 	}
-	point := stats.MannWhitney(a, b, stats.TwoTailed).PAB
-	k := c.boots()
-	vals := make([]float64, k)
-	bufA := make([]float64, len(a))
-	bufB := make([]float64, len(b))
-	for i := 0; i < k; i++ {
-		for j := range bufA {
-			bufA[j] = a[r.Intn(len(a))]
-		}
-		for j := range bufB {
-			bufB[j] = b[r.Intn(len(b))]
-		}
-		vals[i] = stats.MannWhitney(bufA, bufB, stats.TwoTailed).PAB
+	if err := c.validate(); err != nil {
+		return Result{}, err
 	}
-	lo := stats.Quantile(vals, (1-c.level())/2)
-	hi := stats.Quantile(vals, 1-(1-c.level())/2)
-	return c.decide(point, stats.CI{Lo: lo, Hi: hi, Level: c.level()}), nil
+	point := stats.MannWhitney(a, b, stats.TwoTailed).PAB
+	ci := stats.TwoSampleBootstrapWith(a, b, stats.TwoSampleStatFunc(mwPAB), c.boots(), c.level(), r)
+	return c.decide(point, ci), nil
+}
+
+// mwPAB is the Mann-Whitney U statistic scaled to [0,1]: the unpaired
+// plug-in estimate of P(A>B). Rank-based, so it takes the buffered
+// (TwoSampleStatFunc) bootstrap path rather than a fused kernel.
+func mwPAB(x, y []float64) float64 {
+	return stats.MannWhitney(x, y, stats.TwoTailed).PAB
 }
 
 // EvaluateUnpairedSharded is EvaluateUnpaired with the two-sample bootstrap
@@ -270,11 +276,11 @@ func (c PAB) EvaluateUnpairedSharded(a, b []float64, seed uint64, workers int) (
 	if len(a) < 2 || len(b) < 2 {
 		return Result{}, fmt.Errorf("compare: need ≥ 2 measures per algorithm")
 	}
-	point := stats.MannWhitney(a, b, stats.TwoTailed).PAB
-	mwPAB := func(x, y []float64) float64 {
-		return stats.MannWhitney(x, y, stats.TwoTailed).PAB
+	if err := c.validate(); err != nil {
+		return Result{}, err
 	}
-	ci := stats.TwoSampleBootstrapSharded(a, b, mwPAB, c.boots(), c.level(), seed, workers)
+	point := stats.MannWhitney(a, b, stats.TwoTailed).PAB
+	ci := stats.TwoSampleBootstrapKernel(a, b, stats.TwoSampleStatFunc(mwPAB), c.boots(), c.level(), seed, workers)
 	return c.decide(point, ci), nil
 }
 

@@ -200,3 +200,64 @@ func TestPABMonotoneInEffect(t *testing.T) {
 		t.Errorf("PAB at 4σ separation = %v, want ≈1", prev)
 	}
 }
+
+// TestPABValidation covers the degenerate-knob guard: an explicit negative
+// bootstrap count or a confidence level outside (0,1) errors on every
+// evaluation path instead of reaching the resampler (or silently answering
+// with a NaN interval).
+func TestPABValidation(t *testing.T) {
+	r := xrand.New(9)
+	pairs := makePairs(r, 10, 1, 1)
+	a := []float64{1, 2, 3, 4}
+	b := []float64{0, 1, 2, 3}
+	bad := []PAB{
+		{Bootstrap: -1},
+		{Level: -0.5},
+		{Level: 1},
+		{Level: 1.5},
+		{Level: math.NaN()},
+	}
+	for _, crit := range bad {
+		if _, err := crit.Evaluate(pairs, xrand.New(1)); err == nil {
+			t.Errorf("Evaluate with %+v: expected error", crit)
+		}
+		if _, err := crit.EvaluateSharded(pairs, 1, 4); err == nil {
+			t.Errorf("EvaluateSharded with %+v: expected error", crit)
+		}
+		if _, err := crit.EvaluateUnpaired(a, b, xrand.New(1)); err == nil {
+			t.Errorf("EvaluateUnpaired with %+v: expected error", crit)
+		}
+		if _, err := crit.EvaluateUnpairedSharded(a, b, 1, 4); err == nil {
+			t.Errorf("EvaluateUnpairedSharded with %+v: expected error", crit)
+		}
+		if crit.Detects(pairs, xrand.New(1)) {
+			t.Errorf("Detects with %+v: degenerate knobs must not detect", crit)
+		}
+	}
+	// The zero values still mean "use the defaults".
+	if _, err := (PAB{}).Evaluate(pairs, xrand.New(1)); err != nil {
+		t.Errorf("zero-valued PAB should default, got %v", err)
+	}
+}
+
+// TestEvaluateShardedUsesFusedKernel locks the sharded protocol evaluation
+// to the serial reference: the fused P(A>B) kernel must neither perturb the
+// resampling stream nor the decision, at any worker count.
+func TestEvaluateShardedFusedMatchesSerialStream(t *testing.T) {
+	r := xrand.New(11)
+	pairs := makePairs(r, 29, 1, 1)
+	crit := PAB{Bootstrap: 1000}
+	ref, err := crit.EvaluateSharded(pairs, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		got, err := crit.EvaluateSharded(pairs, 7, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("workers=%d: %+v != serial %+v", w, got, ref)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package stats
 
 import (
 	"math"
-	"sort"
 
 	"varbench/internal/xrand"
 )
@@ -15,22 +14,25 @@ import (
 // jackknife evaluations of the statistic.
 func BCaBootstrap(x []float64, statistic func([]float64) float64,
 	k int, level float64, r *xrand.Source) CI {
-	n := len(x)
-	if n < 2 {
-		return CI{Lo: math.NaN(), Hi: math.NaN(), Level: level}
-	}
-	theta := statistic(x)
+	return BCaBootstrapWith(x, StatFunc(statistic), k, level, r)
+}
 
-	// Bootstrap replicates.
-	reps := make([]float64, k)
-	buf := make([]float64, n)
-	for b := 0; b < k; b++ {
-		for i := range buf {
-			buf[i] = x[r.Intn(n)]
-		}
-		reps[b] = statistic(buf)
+// BCaBootstrapWith is BCaBootstrap dispatching on a kernel; see
+// PercentileBootstrapWith for the serial-stream contract. Degenerate input
+// (n < 2, k ≤ 0, level outside (0,1)) yields a NaN CI.
+func BCaBootstrapWith(x []float64, kern Kernel, k int, level float64, r *xrand.Source) CI {
+	n := len(x)
+	if n < 2 || badBootstrap(n, k, level) {
+		return nanCI(level)
 	}
-	sort.Float64s(reps)
+	theta := kern.Stat(x)
+
+	// Bootstrap replicates through the kernel engine (same draws as the
+	// historical copy-then-call loop).
+	rp := getFloats(k)
+	reps := *rp
+	defer putFloats(rp)
+	kern.ResampleInto(reps, x, r)
 
 	// Bias correction z0: fraction of replicates below the point estimate.
 	below := 0
@@ -54,7 +56,7 @@ func BCaBootstrap(x []float64, statistic func([]float64) float64,
 	for i := 0; i < n; i++ {
 		copy(held, x[:i])
 		copy(held[i:], x[i+1:])
-		jack[i] = statistic(held)
+		jack[i] = kern.Stat(held)
 	}
 	jm := Mean(jack)
 	var num, den float64
@@ -78,9 +80,8 @@ func BCaBootstrap(x []float64, statistic func([]float64) float64,
 		}
 		return q
 	}
-	return CI{
-		Lo:    quantileSorted(reps, adj(alpha/2)),
-		Hi:    quantileSorted(reps, adj(1-alpha/2)),
-		Level: level,
-	}
+	// adj is monotone in p, so the adjusted quantile pair stays ordered and
+	// the dual selection applies (bit-identical to sort + quantileSorted).
+	lo, hi := quantiles2Select(reps, adj(alpha/2), adj(1-alpha/2))
+	return CI{Lo: lo, Hi: hi, Level: level}
 }

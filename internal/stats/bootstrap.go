@@ -22,16 +22,26 @@ func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
 // estimates below 0.95 (Appendix C.5).
 func PercentileBootstrap(x []float64, statistic func([]float64) float64,
 	k int, level float64, r *xrand.Source) CI {
-	n := len(x)
-	vals := make([]float64, k)
-	buf := make([]float64, n)
-	for b := 0; b < k; b++ {
-		for i := range buf {
-			buf[i] = x[r.Intn(n)]
-		}
-		vals[b] = statistic(buf)
+	return PercentileBootstrapWith(x, StatFunc(statistic), k, level, r)
+}
+
+// PercentileBootstrapWith is PercentileBootstrap dispatching on a kernel:
+// the serial engine, drawing every resample from the caller-owned stream r
+// in resample order. A fused kernel consumes r exactly like the equivalent
+// closure (one Intn per sampled element), so swapping one in changes no
+// result and perturbs no downstream draw. Degenerate input (empty x,
+// k ≤ 0, level outside (0,1)) yields a NaN CI and consumes no randomness.
+func PercentileBootstrapWith(x []float64, kern Kernel,
+	k int, level float64, r *xrand.Source) CI {
+	if badBootstrap(len(x), k, level) {
+		return nanCI(level)
 	}
-	return percentileCI(vals, level)
+	vp := getFloats(k)
+	vals := *vp
+	kern.ResampleInto(vals, x, r)
+	ci := percentileCI(vals, level)
+	putFloats(vp)
+	return ci
 }
 
 // Pair is one paired performance measurement of two algorithms on the same
@@ -45,16 +55,45 @@ type Pair struct {
 // This is exactly the procedure of Appendix C.5 for P(A>B).
 func PairedPercentileBootstrap(pairs []Pair, statistic func([]Pair) float64,
 	k int, level float64, r *xrand.Source) CI {
-	n := len(pairs)
-	vals := make([]float64, k)
-	buf := make([]Pair, n)
-	for b := 0; b < k; b++ {
-		for i := range buf {
-			buf[i] = pairs[r.Intn(n)]
-		}
-		vals[b] = statistic(buf)
+	return PairedPercentileBootstrapWith(pairs, PairStatFunc(statistic), k, level, r)
+}
+
+// PairedPercentileBootstrapWith is PairedPercentileBootstrap dispatching on
+// a kernel; see PercentileBootstrapWith for the serial-stream and
+// degenerate-input contracts.
+func PairedPercentileBootstrapWith(pairs []Pair, kern PairedKernel,
+	k int, level float64, r *xrand.Source) CI {
+	if badBootstrap(len(pairs), k, level) {
+		return nanCI(level)
 	}
-	return percentileCI(vals, level)
+	vp := getFloats(k)
+	vals := *vp
+	kern.ResampleInto(vals, pairs, r)
+	ci := percentileCI(vals, level)
+	putFloats(vp)
+	return ci
+}
+
+// TwoSampleBootstrapWith bootstraps two unpaired samples serially from the
+// caller-owned stream r — each resample redraws all of a, then all of b —
+// and returns the percentile CI of the kernel statistic; see
+// PercentileBootstrapWith for the serial-stream and degenerate-input
+// contracts.
+func TwoSampleBootstrapWith(a, b []float64, kern TwoSampleKernel,
+	k int, level float64, r *xrand.Source) CI {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if badBootstrap(n, k, level) {
+		return nanCI(level)
+	}
+	vp := getFloats(k)
+	vals := *vp
+	kern.ResampleInto(vals, a, b, r)
+	ci := percentileCI(vals, level)
+	putFloats(vp)
+	return ci
 }
 
 // NormalCI returns the normal-approximation interval
@@ -69,16 +108,22 @@ func NormalCI(estimate, se float64, level float64) CI {
 // resampling (used to attach uncertainty to variance measurements).
 func BootstrapStd(x []float64, statistic func([]float64) float64,
 	k int, r *xrand.Source) float64 {
-	n := len(x)
-	vals := make([]float64, k)
-	buf := make([]float64, n)
-	for b := 0; b < k; b++ {
-		for i := range buf {
-			buf[i] = x[r.Intn(n)]
-		}
-		vals[b] = statistic(buf)
+	return BootstrapStdWith(x, StatFunc(statistic), k, r)
+}
+
+// BootstrapStdWith is BootstrapStd dispatching on a kernel; see
+// PercentileBootstrapWith for the serial-stream contract. Degenerate input
+// (empty x, k ≤ 0) returns NaN and consumes no randomness.
+func BootstrapStdWith(x []float64, kern Kernel, k int, r *xrand.Source) float64 {
+	if len(x) == 0 || k <= 0 {
+		return math.NaN()
 	}
-	return Std(vals)
+	vp := getFloats(k)
+	vals := *vp
+	kern.ResampleInto(vals, x, r)
+	sd := Std(vals)
+	putFloats(vp)
+	return sd
 }
 
 // NoetherSampleSize returns the minimal number of paired measurements needed

@@ -1,9 +1,10 @@
 package stats
 
 import (
-	"sort"
+	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"varbench/internal/xrand"
 )
@@ -11,9 +12,13 @@ import (
 // The sharded bootstrap: the K resamples are partitioned into shards whose
 // boundaries and RNG streams depend only on (seed, K) — never on the worker
 // count or on scheduling — so the resampled statistics, and therefore the
-// confidence interval, are bit-identical at any parallelism. Each worker
-// reuses one resample buffer across all the shards it processes, so the
-// allocation cost is O(workers·n), not O(K·n).
+// confidence interval, are bit-identical at any parallelism. Statistics
+// dispatch through the kernel layer (kernel.go): the protocol's own
+// statistics run fused — accumulating straight from sampled indices with no
+// resample buffer — while arbitrary closures keep the buffered path via the
+// StatFunc adapters. All scratch (the resampled-statistic vector, the shard
+// descriptors, buffered-path buffers) cycles through pools, so the engine
+// allocates nothing in steady state.
 
 // maxBootstrapShards bounds the shard count. 64 shards keep the work queue
 // balanced for any plausible worker count while each shard still amortizes
@@ -34,121 +39,179 @@ func BootstrapShards(k int) int {
 // drawing only from R.
 type bootstrapShard struct {
 	Lo, Hi int
-	R      *xrand.Source
+	R      xrand.Source
 }
 
-// forEachShard partitions k resamples into BootstrapShards(k) shards, each
-// with its own RNG stream derived from (seed, shard index), and feeds them
-// to `workers` concurrent copies of worker (one synchronous call when
-// workers ≤ 1). Shards cover disjoint index ranges, so workers writing
-// vals[Lo:Hi) never contend.
-func forEachShard(k int, seed uint64, workers int, worker func(<-chan bootstrapShard)) {
-	nShards := BootstrapShards(k)
-	root := xrand.New(seed)
-	ch := make(chan bootstrapShard, nShards)
-	for s := 0; s < nShards; s++ {
-		ch <- bootstrapShard{
-			Lo: s * k / nShards,
-			Hi: (s + 1) * k / nShards,
-			R:  root.Split("bootstrap/shard/" + strconv.Itoa(s)),
-		}
+// bootstrapShardPrefix labels the per-shard child streams. The label bytes
+// must stay exactly "bootstrap/shard/<index>": they pin the historical
+// stream derivation.
+const bootstrapShardPrefix = "bootstrap/shard/"
+
+var shardPool sync.Pool // *[]bootstrapShard
+
+// getShards returns a pooled slice of n shards covering [0, k) with their
+// (seed, index)-derived RNG streams seeded in place.
+func getShards(k int, seed uint64) *[]bootstrapShard {
+	n := BootstrapShards(k)
+	p, _ := shardPool.Get().(*[]bootstrapShard)
+	if p == nil || cap(*p) < n {
+		s := make([]bootstrapShard, n)
+		p = &s
 	}
-	close(ch)
-	if workers > nShards {
-		workers = nShards
+	*p = (*p)[:n]
+	var root xrand.Source
+	root.Seed(seed)
+	var lbl [len(bootstrapShardPrefix) + 20]byte
+	shards := *p
+	for s := range shards {
+		b := append(lbl[:0], bootstrapShardPrefix...)
+		b = strconv.AppendInt(b, int64(s), 10)
+		shards[s].Lo = s * k / n
+		shards[s].Hi = (s + 1) * k / n
+		shards[s].R.Seed(root.SplitSeedBytes(b))
+	}
+	return p
+}
+
+// resampler is the engine-facing half of the kernel interfaces, generic
+// over the sample shape (one-sample, paired, two-sample).
+type resampler[S any] interface {
+	ResampleInto(out []float64, sample S, r *xrand.Source)
+}
+
+// twoSamples bundles two unpaired samples into one engine sample value.
+type twoSamples struct{ a, b []float64 }
+
+type twoSampleAdapter struct{ TwoSampleKernel }
+
+func (t twoSampleAdapter) ResampleInto(out []float64, s twoSamples, r *xrand.Source) {
+	t.TwoSampleKernel.ResampleInto(out, s.a, s.b, r)
+}
+
+// shardedVals fills vals with len(vals) resampled statistics of kern over
+// sample, sharded across `workers` goroutines. The shard streams depend
+// only on (seed, len(vals)) and shards write disjoint ranges, so the
+// contents of vals are bit-identical at any worker count. Generic over the
+// kernel type so that concrete adapter structs are not boxed into an
+// interface (which would allocate on every call).
+func shardedVals[S any, K resampler[S]](vals []float64, sample S, kern K, seed uint64, workers int) {
+	sp := getShards(len(vals), seed)
+	shards := *sp
+	if workers > len(shards) {
+		workers = len(shards)
 	}
 	if workers <= 1 {
-		worker(ch)
-		return
+		for i := range shards {
+			sh := &shards[i]
+			kern.ResampleInto(vals[sh.Lo:sh.Hi], sample, &sh.R)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(shards) {
+						return
+					}
+					sh := &shards[i]
+					kern.ResampleInto(vals[sh.Lo:sh.Hi], sample, &sh.R)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			worker(ch)
-		}()
-	}
-	wg.Wait()
+	shardPool.Put(sp)
 }
 
-// percentileCI sorts the resampled statistics and reads off the two-sided
-// percentile interval.
+// badBootstrap reports whether a bootstrap request is degenerate: nothing
+// to resample, no resamples, or a confidence level outside (0, 1). The
+// entry points answer such requests with a NaN CI (see nanCI) instead of
+// panicking on empty or unsorted-garbage quantile input.
+func badBootstrap(sampleLen, k int, level float64) bool {
+	return sampleLen == 0 || k <= 0 || math.IsNaN(level) || level <= 0 || level >= 1
+}
+
+// nanCI is the documented degenerate-input answer: both endpoints NaN, the
+// requested level echoed back. It consumes no randomness.
+func nanCI(level float64) CI {
+	return CI{Lo: math.NaN(), Hi: math.NaN(), Level: level}
+}
+
+// percentileCI reads the two-sided percentile interval off the resampled
+// statistics via selection (O(K) expected, see select.go) instead of a full
+// sort, reordering vals in place.
 func percentileCI(vals []float64, level float64) CI {
-	sort.Float64s(vals)
 	alpha := 1 - level
-	return CI{
-		Lo:    quantileSorted(vals, alpha/2),
-		Hi:    quantileSorted(vals, 1-alpha/2),
-		Level: level,
-	}
+	lo, hi := quantiles2Select(vals, alpha/2, 1-alpha/2)
+	return CI{Lo: lo, Hi: hi, Level: level}
 }
 
-// PercentileBootstrapSharded is PercentileBootstrap with the resampling
-// sharded across `workers` goroutines. Results depend only on (x, statistic,
-// k, level, seed): any worker count, including 1, produces bit-identical
-// intervals. statistic must be safe for concurrent calls on distinct
-// buffers (a pure function of its argument, as every statistic here is).
+// bootstrapCI is the shared sharded engine behind the kernel entry points.
+func bootstrapCI[S any, K resampler[S]](sample S, sampleLen int, kern K, k int, level float64, seed uint64, workers int) CI {
+	if badBootstrap(sampleLen, k, level) {
+		return nanCI(level)
+	}
+	vp := getFloats(k)
+	vals := *vp
+	shardedVals(vals, sample, kern, seed, workers)
+	ci := percentileCI(vals, level)
+	putFloats(vp)
+	return ci
+}
+
+// PercentileBootstrapKernel computes the sharded percentile-bootstrap CI of
+// a one-sample kernel statistic: K resamples with replacement, interval
+// given by the α/2 and 1-α/2 empirical quantiles of the resampled
+// statistics. Results depend only on (x, kern, k, level, seed): any worker
+// count, including 1, produces bit-identical intervals. Degenerate input
+// (empty x, k ≤ 0, level outside (0,1)) yields a NaN CI.
+func PercentileBootstrapKernel(x []float64, kern Kernel, k int, level float64, seed uint64, workers int) CI {
+	return bootstrapCI[[]float64, Kernel](x, len(x), kern, k, level, seed, workers)
+}
+
+// PairedPercentileBootstrapKernel is PercentileBootstrapKernel for paired
+// kernels: whole pairs are resampled jointly, preserving the pairing
+// (Appendix C.5's procedure for P(A>B)).
+func PairedPercentileBootstrapKernel(pairs []Pair, kern PairedKernel, k int, level float64, seed uint64, workers int) CI {
+	return bootstrapCI[[]Pair, PairedKernel](pairs, len(pairs), kern, k, level, seed, workers)
+}
+
+// TwoSampleBootstrapKernel is PercentileBootstrapKernel for two-sample
+// kernels: each resample redraws both a and b independently with
+// replacement. This is the engine behind the unpaired (Mann-Whitney)
+// variant of the recommended test.
+func TwoSampleBootstrapKernel(a, b []float64, kern TwoSampleKernel, k int, level float64, seed uint64, workers int) CI {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	return bootstrapCI[twoSamples, twoSampleAdapter](twoSamples{a, b}, n, twoSampleAdapter{kern}, k, level, seed, workers)
+}
+
+// PercentileBootstrapSharded is the closure form of
+// PercentileBootstrapKernel: statistic must be safe for concurrent calls on
+// distinct buffers (a pure function of its argument, as every statistic
+// here is). Statistics with a fused kernel should use the kernel entry
+// point directly; closures take the buffered fallback path.
 func PercentileBootstrapSharded(x []float64, statistic func([]float64) float64,
 	k int, level float64, seed uint64, workers int) CI {
-	n := len(x)
-	vals := make([]float64, k)
-	forEachShard(k, seed, workers, func(shards <-chan bootstrapShard) {
-		buf := make([]float64, n)
-		for sh := range shards {
-			for b := sh.Lo; b < sh.Hi; b++ {
-				for i := range buf {
-					buf[i] = x[sh.R.Intn(n)]
-				}
-				vals[b] = statistic(buf)
-			}
-		}
-	})
-	return percentileCI(vals, level)
+	return PercentileBootstrapKernel(x, StatFunc(statistic), k, level, seed, workers)
 }
 
-// PairedPercentileBootstrapSharded is PairedPercentileBootstrap with the
-// resampling sharded across `workers` goroutines; see
-// PercentileBootstrapSharded for the determinism contract.
+// PairedPercentileBootstrapSharded is the closure form of
+// PairedPercentileBootstrapKernel; see PercentileBootstrapSharded for the
+// concurrency contract.
 func PairedPercentileBootstrapSharded(pairs []Pair, statistic func([]Pair) float64,
 	k int, level float64, seed uint64, workers int) CI {
-	n := len(pairs)
-	vals := make([]float64, k)
-	forEachShard(k, seed, workers, func(shards <-chan bootstrapShard) {
-		buf := make([]Pair, n)
-		for sh := range shards {
-			for b := sh.Lo; b < sh.Hi; b++ {
-				for i := range buf {
-					buf[i] = pairs[sh.R.Intn(n)]
-				}
-				vals[b] = statistic(buf)
-			}
-		}
-	})
-	return percentileCI(vals, level)
+	return PairedPercentileBootstrapKernel(pairs, PairStatFunc(statistic), k, level, seed, workers)
 }
 
-// TwoSampleBootstrapSharded bootstraps two unpaired samples independently —
-// each resample redraws both a and b with replacement — and returns the
-// sharded percentile CI of statistic(a*, b*). This is the engine behind the
-// unpaired (Mann-Whitney) variant of the recommended test.
+// TwoSampleBootstrapSharded is the closure form of TwoSampleBootstrapKernel.
 func TwoSampleBootstrapSharded(a, b []float64, statistic func(a, b []float64) float64,
 	k int, level float64, seed uint64, workers int) CI {
-	vals := make([]float64, k)
-	forEachShard(k, seed, workers, func(shards <-chan bootstrapShard) {
-		bufA := make([]float64, len(a))
-		bufB := make([]float64, len(b))
-		for sh := range shards {
-			for i := sh.Lo; i < sh.Hi; i++ {
-				for j := range bufA {
-					bufA[j] = a[sh.R.Intn(len(a))]
-				}
-				for j := range bufB {
-					bufB[j] = b[sh.R.Intn(len(b))]
-				}
-				vals[i] = statistic(bufA, bufB)
-			}
-		}
-	})
-	return percentileCI(vals, level)
+	return TwoSampleBootstrapKernel(a, b, TwoSampleStatFunc(statistic), k, level, seed, workers)
 }

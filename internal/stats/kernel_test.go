@@ -1,0 +1,313 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"varbench/internal/xrand"
+)
+
+// kernelWorkerGrid is the worker sweep the satellite spec pins: serial, a
+// small fixed pool, and whatever the machine offers.
+func kernelWorkerGrid() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+func randomSample(r *xrand.Source, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func randomPairs(r *xrand.Source, n int) []Pair {
+	p := make([]Pair, n)
+	for i := range p {
+		base := r.NormFloat64()
+		a := base + 0.3*r.NormFloat64()
+		b := base + 0.3*r.NormFloat64()
+		// Exercise the tie (+½) arm of the PAB kernel too.
+		if r.Bernoulli(0.2) {
+			b = a
+		}
+		p[i] = Pair{A: a, B: b}
+	}
+	return p
+}
+
+// ciEqual distinguishes bit-level equality including NaN endpoints (== is
+// false for NaN).
+func ciEqual(a, b CI) bool {
+	eq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y)
+	}
+	return eq(a.Lo, b.Lo) && eq(a.Hi, b.Hi) && a.Level == b.Level
+}
+
+// TestFusedKernelsMatchClosures is the kernel/closure equivalence property
+// test: every fused kernel must produce bit-identical CIs to its buffered
+// closure counterpart, for random inputs, across the worker grid, in both
+// the sharded and the serial caller-stream engines. This is the determinism
+// contract of kernel.go made executable.
+func TestFusedKernelsMatchClosures(t *testing.T) {
+	r := xrand.New(1234)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(40)
+		k := 50 + r.Intn(300)
+		level := 0.8 + 0.15*r.Float64()
+		seed := r.Uint64()
+		x := randomSample(r, n)
+		pairs := randomPairs(r, n)
+		y := randomSample(r, 2+r.Intn(40))
+
+		oneSample := []struct {
+			name    string
+			kern    Kernel
+			closure func([]float64) float64
+		}{
+			{"mean", MeanKernel{}, Mean},
+			{"variance", VarianceKernel{}, Variance},
+		}
+		for _, c := range oneSample {
+			for _, w := range kernelWorkerGrid() {
+				fused := PercentileBootstrapKernel(x, c.kern, k, level, seed, w)
+				closed := PercentileBootstrapSharded(x, c.closure, k, level, seed, w)
+				if !ciEqual(fused, closed) {
+					t.Fatalf("trial %d %s workers=%d: fused %+v != closure %+v",
+						trial, c.name, w, fused, closed)
+				}
+			}
+			rf, rc := xrand.New(seed), xrand.New(seed)
+			fused := PercentileBootstrapWith(x, c.kern, k, level, rf)
+			closed := PercentileBootstrapWith(x, StatFunc(c.closure), k, level, rc)
+			if !ciEqual(fused, closed) {
+				t.Fatalf("trial %d %s serial: fused %+v != closure %+v", trial, c.name, fused, closed)
+			}
+			if rf.Uint64() != rc.Uint64() {
+				t.Fatalf("trial %d %s: fused kernel consumed the stream differently", trial, c.name)
+			}
+		}
+
+		paired := []struct {
+			name    string
+			kern    PairedKernel
+			closure func([]Pair) float64
+		}{
+			{"pab", PABKernel{}, PABKernel{}.Stat},
+			{"meandiff", MeanDiffKernel{}, MeanDiffKernel{}.Stat},
+		}
+		for _, c := range paired {
+			for _, w := range kernelWorkerGrid() {
+				fused := PairedPercentileBootstrapKernel(pairs, c.kern, k, level, seed, w)
+				closed := PairedPercentileBootstrapSharded(pairs, c.closure, k, level, seed, w)
+				if !ciEqual(fused, closed) {
+					t.Fatalf("trial %d %s workers=%d: fused %+v != closure %+v",
+						trial, c.name, w, fused, closed)
+				}
+			}
+			rf, rc := xrand.New(seed), xrand.New(seed)
+			fused := PairedPercentileBootstrapWith(pairs, c.kern, k, level, rf)
+			closed := PairedPercentileBootstrapWith(pairs, PairStatFunc(c.closure), k, level, rc)
+			if !ciEqual(fused, closed) {
+				t.Fatalf("trial %d %s serial: fused %+v != closure %+v", trial, c.name, fused, closed)
+			}
+			if rf.Uint64() != rc.Uint64() {
+				t.Fatalf("trial %d %s: fused kernel consumed the stream differently", trial, c.name)
+			}
+		}
+
+		meanDiff := TwoSampleMeanDiffKernel{}
+		for _, w := range kernelWorkerGrid() {
+			fused := TwoSampleBootstrapKernel(x, y, meanDiff, k, level, seed, w)
+			closed := TwoSampleBootstrapSharded(x, y, meanDiff.Stat, k, level, seed, w)
+			if !ciEqual(fused, closed) {
+				t.Fatalf("trial %d two-sample workers=%d: fused %+v != closure %+v", trial, w, fused, closed)
+			}
+		}
+		rf, rc := xrand.New(seed), xrand.New(seed)
+		fused := TwoSampleBootstrapWith(x, y, meanDiff, k, level, rf)
+		closed := TwoSampleBootstrapWith(x, y, TwoSampleStatFunc(meanDiff.Stat), k, level, rc)
+		if !ciEqual(fused, closed) {
+			t.Fatalf("trial %d two-sample serial: fused %+v != closure %+v", trial, fused, closed)
+		}
+		if rf.Uint64() != rc.Uint64() {
+			t.Fatal("two-sample fused kernel consumed the stream differently")
+		}
+	}
+}
+
+// TestKernelStatsMatchReferences pins the Stat methods to the package-level
+// reference implementations on the full (un-resampled) sample.
+func TestKernelStatsMatchReferences(t *testing.T) {
+	r := xrand.New(7)
+	x := randomSample(r, 23)
+	if got, want := (MeanKernel{}).Stat(x), Mean(x); got != want {
+		t.Errorf("MeanKernel.Stat = %v, want %v", got, want)
+	}
+	if got, want := (VarianceKernel{}).Stat(x), Variance(x); got != want {
+		t.Errorf("VarianceKernel.Stat = %v, want %v", got, want)
+	}
+	pairs := randomPairs(r, 23)
+	wins := 0.0
+	d := 0.0
+	for _, pr := range pairs {
+		switch {
+		case pr.A > pr.B:
+			wins++
+		case pr.A == pr.B:
+			wins += 0.5
+		}
+		d += pr.A - pr.B
+	}
+	if got, want := (PABKernel{}).Stat(pairs), wins/float64(len(pairs)); got != want {
+		t.Errorf("PABKernel.Stat = %v, want %v", got, want)
+	}
+	if got, want := (MeanDiffKernel{}).Stat(pairs), d/float64(len(pairs)); got != want {
+		t.Errorf("MeanDiffKernel.Stat = %v, want %v", got, want)
+	}
+	y := randomSample(r, 17)
+	if got, want := (TwoSampleMeanDiffKernel{}).Stat(x, y), Mean(x)-Mean(y); got != want {
+		t.Errorf("TwoSampleMeanDiffKernel.Stat = %v, want %v", got, want)
+	}
+}
+
+// TestBootstrapDegenerateInputs covers the satellite guard: k ≤ 0, empty
+// samples and a confidence level outside (0,1) answer with the documented
+// NaN CI — and consume no randomness on the serial paths — instead of
+// panicking inside the quantile machinery.
+func TestBootstrapDegenerateInputs(t *testing.T) {
+	x := []float64{1, 2, 3}
+	pairs := []Pair{{1, 2}, {3, 4}}
+	isNaNCI := func(t *testing.T, ci CI, level float64) {
+		t.Helper()
+		if !math.IsNaN(ci.Lo) || !math.IsNaN(ci.Hi) {
+			t.Errorf("degenerate input: CI %+v, want NaN endpoints", ci)
+		}
+		if ci.Level != level && !(math.IsNaN(level) && math.IsNaN(ci.Level)) {
+			t.Errorf("degenerate input: level %v, want %v echoed", ci.Level, level)
+		}
+	}
+	cases := []struct {
+		name  string
+		empty bool // use empty samples
+		k     int
+		level float64
+	}{
+		{"k-zero", false, 0, 0.95},
+		{"k-negative", false, -3, 0.95},
+		{"empty-sample", true, 100, 0.95},
+		{"level-zero", false, 100, 0},
+		{"level-one", false, 100, 1},
+		{"level-negative", false, 100, -0.5},
+		{"level-above-one", false, 100, 1.7},
+		{"level-nan", false, 100, math.NaN()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sx, sp := x, pairs
+			if c.empty {
+				sx, sp = nil, nil
+			}
+			r := xrand.New(5)
+			before := xrand.New(5).Uint64()
+			isNaNCI(t, PercentileBootstrap(sx, Mean, c.k, c.level, r), c.level)
+			isNaNCI(t, PairedPercentileBootstrap(sp, PABKernel{}.Stat, c.k, c.level, r), c.level)
+			isNaNCI(t, TwoSampleBootstrapWith(sx, sx, TwoSampleMeanDiffKernel{}, c.k, c.level, r), c.level)
+			if got := r.Uint64(); got != before {
+				t.Error("degenerate serial bootstrap consumed randomness")
+			}
+			for _, w := range []int{1, 4} {
+				isNaNCI(t, PercentileBootstrapKernel(sx, MeanKernel{}, c.k, c.level, 9, w), c.level)
+				isNaNCI(t, PairedPercentileBootstrapKernel(sp, PABKernel{}, c.k, c.level, 9, w), c.level)
+				isNaNCI(t, TwoSampleBootstrapKernel(sx, sx, TwoSampleMeanDiffKernel{}, c.k, c.level, 9, w), c.level)
+			}
+		})
+	}
+	// BootstrapStd: NaN, no randomness consumed.
+	r := xrand.New(5)
+	if !math.IsNaN(BootstrapStd(nil, Mean, 100, r)) {
+		t.Error("BootstrapStd on empty sample should be NaN")
+	}
+	if !math.IsNaN(BootstrapStd(x, Mean, 0, r)) {
+		t.Error("BootstrapStd with k=0 should be NaN")
+	}
+	if got, want := r.Uint64(), xrand.New(5).Uint64(); got != want {
+		t.Error("degenerate BootstrapStd consumed randomness")
+	}
+}
+
+// TestKernelEntryPointsMatchClosureEntryPoints locks the closure-form
+// Sharded wrappers to the kernel engine: a closure that mirrors a fused
+// statistic goes through StatFunc and must land on the same CI.
+func TestKernelEntryPointsMatchClosureEntryPoints(t *testing.T) {
+	r := xrand.New(99)
+	x := randomSample(r, 31)
+	for _, k := range []int{1, 2, 63, 64, 65, 1000} {
+		fused := PercentileBootstrapKernel(x, MeanKernel{}, k, 0.9, 3, 4)
+		closed := PercentileBootstrapSharded(x, Mean, k, 0.9, 3, 4)
+		if !ciEqual(fused, closed) {
+			t.Fatalf("k=%d: kernel %+v != closure %+v", k, fused, closed)
+		}
+	}
+}
+
+// TestBootstrapStdKernelEquivalence covers the serial Std engine's kernel
+// dispatch.
+func TestBootstrapStdKernelEquivalence(t *testing.T) {
+	r := xrand.New(17)
+	x := randomSample(r, 25)
+	for _, k := range []int{10, 200} {
+		a := BootstrapStd(x, Mean, k, xrand.New(8))
+		b := BootstrapStdWith(x, MeanKernel{}, k, xrand.New(8))
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("k=%d: closure std %v != kernel std %v", k, a, b)
+		}
+	}
+}
+
+// TestShardedWorkerInvarianceFusedGrid re-runs the worker-grid invariance
+// check on the fused kernels specifically (the closure grid lives in
+// bootstrap_sharded_test.go), at several K to cross shard-count boundaries.
+func TestShardedWorkerInvarianceFusedGrid(t *testing.T) {
+	r := xrand.New(31)
+	pairs := randomPairs(r, 29)
+	for _, k := range []int{7, 64, 1000} {
+		ref := PairedPercentileBootstrapKernel(pairs, PABKernel{}, k, 0.95, 13, 1)
+		for _, w := range kernelWorkerGrid() {
+			ci := PairedPercentileBootstrapKernel(pairs, PABKernel{}, k, 0.95, 13, w)
+			if !ciEqual(ci, ref) {
+				t.Errorf("k=%d workers=%d: %+v != serial %+v", k, w, ci, ref)
+			}
+		}
+	}
+}
+
+func TestBootstrapSmallSamples(t *testing.T) {
+	// n=1: resampling a single value is legal for the mean (degenerate CI at
+	// the value) and NaN for the variance (n-1 = 0) — on both paths.
+	one := []float64{2.5}
+	for _, w := range []int{1, 4} {
+		ci := PercentileBootstrapKernel(one, MeanKernel{}, 100, 0.95, 1, w)
+		if ci.Lo != 2.5 || ci.Hi != 2.5 {
+			t.Errorf("workers=%d: mean CI of singleton = %+v, want collapsed at 2.5", w, ci)
+		}
+		vci := PercentileBootstrapKernel(one, VarianceKernel{}, 100, 0.95, 1, w)
+		closed := PercentileBootstrapSharded(one, Variance, 100, 0.95, 1, w)
+		if !ciEqual(vci, closed) {
+			t.Errorf("workers=%d: variance singleton fused %+v != closure %+v", w, vci, closed)
+		}
+		if !math.IsNaN(vci.Lo) {
+			t.Errorf("workers=%d: variance CI of singleton = %+v, want NaN", w, vci)
+		}
+	}
+}
+
+func ExamplePercentileBootstrapKernel() {
+	x := []float64{0.71, 0.74, 0.69, 0.73, 0.75, 0.70, 0.72}
+	ci := PercentileBootstrapKernel(x, MeanKernel{}, 1000, 0.95, 42, 4)
+	fmt.Printf("level=%.2f lo<hi: %v\n", ci.Level, ci.Lo < ci.Hi)
+	// Output: level=0.95 lo<hi: true
+}

@@ -1,0 +1,124 @@
+package stats
+
+import "math"
+
+// Selection-based quantiles for the bootstrap interval: the percentile CI
+// needs only two order statistics (plus their upper neighbors for the
+// type-7 interpolation) out of K resampled values, so a dual quickselect
+// finds both endpoints in O(K) expected time instead of the O(K log K) full
+// sort — with bit-identical results, since the p-quantile of a multiset
+// does not depend on how equal elements are ordered.
+
+// quantiles2Select returns the p1- and p2-quantiles (type-7 linear
+// interpolation, the numpy/R default — identical to quantileSorted on the
+// sorted slice) of s, partially reordering s in place. It requires
+// p1 <= p2 and len(s) > 0.
+func quantiles2Select(s []float64, p1, p2 float64) (q1, q2 float64) {
+	// sort.Float64s orders NaNs first (Float64Slice.Less); replicate that by
+	// partitioning NaNs to the front, then selecting with plain < on the
+	// rest. Order among the NaNs themselves is immaterial — they are
+	// indistinguishable to the interpolation.
+	nn := 0
+	for i, v := range s {
+		if v != v {
+			s[i], s[nn] = s[nn], s[i]
+			nn++
+		}
+	}
+	q1 = quantileSelect(s, nn, p1)
+	q2 = quantileSelect(s, nn, p2)
+	return q1, q2
+}
+
+// quantileSelect computes the type-7 p-quantile of s, whose first nn
+// elements are NaN and sort first. Earlier quantileSelect calls on the same
+// slice only refine the partial order, so repeated calls compose.
+func quantileSelect(s []float64, nn int, p float64) float64 {
+	n := len(s)
+	if p <= 0 {
+		return orderStat(s, nn, 0)
+	}
+	if p >= 1 {
+		return orderStat(s, nn, n-1)
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	v := orderStat(s, nn, lo)
+	if lo+1 >= n {
+		return v
+	}
+	// Always interpolate, even at frac == 0, mirroring quantileSorted: the
+	// reference evaluates s[lo]*1 + s[lo+1]*0 there, which differs from a
+	// bare s[lo] in signed-zero corner cases.
+	return v*(1-frac) + orderStat(s, nn, lo+1)*frac
+}
+
+// orderStat returns the k-th smallest element of s under the sort.Float64s
+// order, where the first nn elements are the NaNs.
+func orderStat(s []float64, nn, k int) float64 {
+	if k < nn {
+		return math.NaN()
+	}
+	return nthElement(s[nn:], k-nn)
+}
+
+// nthElement partially sorts s so that s[k] holds the k-th smallest value,
+// everything before it is ≤ s[k] and everything after is ≥ s[k], and
+// returns s[k]. Iterative quickselect with median-of-three pivots and an
+// insertion-sort base case; NaN-free input.
+func nthElement(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for hi-lo > 12 {
+		// Median-of-three of (lo, mid, hi), left in s[lo] as the pivot.
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		s[lo], s[mid] = s[mid], s[lo]
+		pivot := s[lo]
+
+		// Hoare partition: after the loop, s[lo..j] ≤ pivot ≤ s[j+1..hi].
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if s[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if s[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	// Insertion sort of the remaining window fully orders it.
+	for i := lo + 1; i <= hi; i++ {
+		v := s[i]
+		j := i - 1
+		for j >= lo && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+	return s[k]
+}

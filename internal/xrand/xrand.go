@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
@@ -94,29 +95,131 @@ func (r *Source) LogUniform(lo, hi float64) float64 {
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 // Lemire's nearly-divisionless method keeps the distribution exactly uniform.
+// The first draw is accepted with probability 1 - n/2^64, so the loop lives
+// in intnRetry and this fast path stays small enough to inline into the
+// bootstrap resampling loops.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with non-positive n")
 	}
 	bound := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo >= bound || lo >= (-bound)%bound {
+		return int(hi)
+	}
+	return r.intnRetry(bound)
+}
+
+// intnRetry redraws until Lemire's acceptance test passes. It consumes the
+// stream exactly like the historical rejection loop: one Uint64 per attempt.
+func (r *Source) intnRetry(bound uint64) int {
+	thresh := (-bound) % bound
 	for {
-		x := r.Uint64()
-		hi, lo := mul64(x, bound)
-		if lo >= bound || lo >= (-bound)%bound {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= thresh {
 			return int(hi)
 		}
 	}
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aHi*bLo + (aLo*bLo)>>32
-	lo = a * b
-	hi = aHi*bHi + (aLo*bHi+t&mask)>>32 + t>>32
-	return hi, lo
+// Bulk with-replacement sampling for the bootstrap kernels. Each Sample*
+// call is observationally identical to the equivalent sequence of Intn
+// draws — same Uint64 consumption (one per Lemire attempt), same accepted
+// indices, and for the accumulating variants the same floating-point (or
+// integer) addition order — but runs the generator on a register-local
+// state copy with the rejection threshold hoisted, removing the two
+// non-inlinable calls per draw that dominate the per-element cost. The
+// xoshiro step below must stay in sync with Uint64; TestSampleBulkMatchesIntn
+// pins the equivalence.
+//
+// Lemire's acceptance test `lo >= bound || lo >= (-bound)%bound` reduces to
+// `lo >= thresh` with thresh = (-bound)%bound, since thresh < bound: both
+// sides of the || are implied by it and imply it respectively, so hoisting
+// thresh changes no accept/reject decision.
+
+// SampleSum returns the sum of n with-replacement draws from x, added in
+// draw order: bit-identical to `for i := 0; i < n; i++ { sum += x[r.Intn(len(x))] }`.
+// It panics if x is empty and n > 0, as Intn would.
+func (r *Source) SampleSum(x []float64, n int) float64 {
+	return sampleSumOf(r, x, n)
+}
+
+// SampleSumInt is SampleSum over integer weights: the sum of n
+// with-replacement draws from w, accumulated in draw order. Integer
+// accumulation breaks the floating-point add latency chain for statistics
+// whose per-element contributions are exact (the P(A>B) win count).
+func (r *Source) SampleSumInt(w []int64, n int) int64 {
+	return sampleSumOf(r, w, n)
+}
+
+// sampleSumOf is the shared accumulator loop behind SampleSum and
+// SampleSumInt. float64 and int64 stencil to separate instantiations, so
+// the register-local generator loop survives the generic factoring.
+func sampleSumOf[T float64 | int64](r *Source, x []T, n int) T {
+	var sum T
+	if len(x) == 0 {
+		if n > 0 {
+			panic("xrand: bulk sample from an empty sample")
+		}
+		return sum
+	}
+	bound := uint64(len(x))
+	thresh := (-bound) % bound
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := 0; i < n; i++ {
+		for {
+			res := rotl(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = rotl(s3, 45)
+			hi, lo := bits.Mul64(res, bound)
+			if lo >= thresh {
+				sum += x[hi]
+				break
+			}
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	return sum
+}
+
+// SampleInto fills dst with with-replacement draws from src:
+// bit-identical to `for i := range dst { dst[i] = src[r.Intn(len(src))] }`.
+// It is generic so that element types beyond float64 (e.g. measurement
+// pairs) materialize resamples through the same bulk path. It panics if src
+// is empty and dst is not, as Intn would.
+func SampleInto[T any](r *Source, dst, src []T) {
+	if len(src) == 0 {
+		if len(dst) > 0 {
+			panic("xrand: SampleInto from an empty sample")
+		}
+		return
+	}
+	bound := uint64(len(src))
+	thresh := (-bound) % bound
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		for {
+			res := rotl(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = rotl(s3, 45)
+			hi, lo := bits.Mul64(res, bound)
+			if lo >= thresh {
+				dst[i] = src[hi]
+				break
+			}
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
 }
 
 // NormFloat64 returns a standard normal sample using the Marsaglia polar
@@ -193,19 +296,31 @@ func (r *Source) Shuffle(n int, swap func(i, j int)) {
 // perturbing one another's streams: this is what lets the benchmark vary one
 // source of variation while holding all others fixed.
 func (r *Source) Split(label string) *Source {
-	h := hashLabel(label)
-	// Mix the parent identity (its seed-derived first state word is already
-	// consumed; use the full current state hashed with the label) — but to be
-	// consumption-independent we instead fold the label hash with the
-	// original state snapshot stored at seed time. Simpler and sufficient:
-	// child seed = label hash mixed with parent's state[3] at creation.
-	// To guarantee consumption independence Split must be called on a
-	// dedicated, never-consumed parent; Streams (below) enforces that.
-	seed := h ^ r.s[0] ^ rotl(r.s[1], 13) ^ rotl(r.s[2], 29) ^ rotl(r.s[3], 47)
-	return New(seed)
+	return New(r.splitSeed(hashLabel(label)))
 }
 
-func hashLabel(label string) uint64 {
+// SplitSeedBytes returns the seed of the child stream Split(string(label))
+// would create, without allocating: Seed-ing a Source with it continues the
+// exact same sequence as the equivalent Split. It exists for hot paths (the
+// sharded bootstrap's per-shard streams) that derive many child streams from
+// labels built in a reusable byte buffer.
+func (r *Source) SplitSeedBytes(label []byte) uint64 {
+	return r.splitSeed(hashLabel(label))
+}
+
+// splitSeed derives a child seed from a label hash.
+// Mix the parent identity (its seed-derived first state word is already
+// consumed; use the full current state hashed with the label) — but to be
+// consumption-independent we instead fold the label hash with the
+// original state snapshot stored at seed time. Simpler and sufficient:
+// child seed = label hash mixed with parent's state[3] at creation.
+// To guarantee consumption independence Split must be called on a
+// dedicated, never-consumed parent; Streams (below) enforces that.
+func (r *Source) splitSeed(h uint64) uint64 {
+	return h ^ r.s[0] ^ rotl(r.s[1], 13) ^ rotl(r.s[2], 29) ^ rotl(r.s[3], 47)
+}
+
+func hashLabel[T string | []byte](label T) uint64 {
 	// FNV-1a 64-bit.
 	const offset = 0xcbf29ce484222325
 	const prime = 0x100000001b3

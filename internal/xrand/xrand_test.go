@@ -251,3 +251,108 @@ func TestShuffleIntsPreservesMultiset(t *testing.T) {
 		t.Fatalf("shuffle changed contents: sum %d != %d", got, sum)
 	}
 }
+
+func TestSplitSeedBytesMatchesSplit(t *testing.T) {
+	labels := []string{"", "bootstrap/shard/0", "bootstrap/shard/63", "dataset/cifar10", "变"}
+	for _, seed := range []uint64{0, 1, 42, 1 << 63} {
+		parent := New(seed)
+		for _, label := range labels {
+			want := New(seed).Split(label)
+			var got Source
+			got.Seed(parent.SplitSeedBytes([]byte(label)))
+			for i := 0; i < 8; i++ {
+				if g, w := got.Uint64(), want.Uint64(); g != w {
+					t.Fatalf("seed %d label %q draw %d: SplitSeedBytes stream %d != Split stream %d",
+						seed, label, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleBulkMatchesIntn pins the bulk samplers to the sequential Intn
+// contract: same accepted indices, same accumulation order, same stream
+// consumption — the invariant the fused bootstrap kernels rely on. Small n
+// near powers of two exercises the Lemire rejection path.
+func TestSampleBulkMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 29, 64, 1000} {
+		x := make([]float64, n)
+		w := make([]int64, n)
+		ref := New(uint64(n))
+		for i := range x {
+			x[i] = ref.NormFloat64()
+			w[i] = int64(ref.Intn(5))
+		}
+		for _, draws := range []int{0, 1, 5, 200} {
+			seed := uint64(100*n + draws)
+			// SampleSum vs sequential float accumulation.
+			ra, rb := New(seed), New(seed)
+			sum := 0.0
+			for i := 0; i < draws; i++ {
+				sum += x[ra.Intn(n)]
+			}
+			if got := rb.SampleSum(x, draws); math.Float64bits(got) != math.Float64bits(sum) {
+				t.Fatalf("n=%d draws=%d: SampleSum %v != sequential %v", n, draws, got, sum)
+			}
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatalf("n=%d draws=%d: SampleSum consumed the stream differently", n, draws)
+			}
+			// SampleSumInt vs sequential integer accumulation.
+			ra, rb = New(seed), New(seed)
+			var isum int64
+			for i := 0; i < draws; i++ {
+				isum += w[ra.Intn(n)]
+			}
+			if got := rb.SampleSumInt(w, draws); got != isum {
+				t.Fatalf("n=%d draws=%d: SampleSumInt %v != sequential %v", n, draws, got, isum)
+			}
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatalf("n=%d draws=%d: SampleSumInt consumed the stream differently", n, draws)
+			}
+			// SampleInto vs sequential gather, on a non-float64 element type.
+			type pair struct{ a, b float64 }
+			src := make([]pair, n)
+			for i := range src {
+				src[i] = pair{x[i], -x[i]}
+			}
+			ra, rb = New(seed), New(seed)
+			want := make([]pair, draws)
+			for i := range want {
+				want[i] = src[ra.Intn(n)]
+			}
+			got := make([]pair, draws)
+			SampleInto(rb, got, src)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d draws=%d: SampleInto[%d] = %v, want %v", n, draws, i, got[i], want[i])
+				}
+			}
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatalf("n=%d draws=%d: SampleInto consumed the stream differently", n, draws)
+			}
+		}
+	}
+}
+
+func TestSampleBulkEmptyPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on empty sample did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := New(1)
+	mustPanic("SampleSum", func() { r.SampleSum(nil, 3) })
+	mustPanic("SampleSumInt", func() { r.SampleSumInt(nil, 3) })
+	mustPanic("SampleInto", func() { SampleInto(r, make([]float64, 2), nil) })
+	// Zero draws from an empty sample is a no-op, like zero Intn calls.
+	if got := r.SampleSum(nil, 0); got != 0 {
+		t.Errorf("SampleSum(nil, 0) = %v, want 0", got)
+	}
+	before := New(1).Uint64()
+	if r.Uint64() != before {
+		t.Error("empty-sample panics consumed randomness")
+	}
+}

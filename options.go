@@ -63,9 +63,11 @@ func WithParallelism(n int) Option { return func(e *Experiment) { e.Parallelism 
 // WithAnalysisParallelism sets the worker-pool size of the sharded
 // percentile bootstrap behind every confidence-interval computation
 // (default: GOMAXPROCS). The resampling is sharded deterministically by
-// (seed, resample count), so results are bit-identical at any setting;
-// 1 forces the serial reference engine. An explicit negative value is
-// rejected; 0 means "use the default".
+// (seed, resample count) and runs the fused P(A>B) statistic kernel, so
+// results are bit-identical at any setting — the parallelism (and the
+// kernel fusion) change only the speed; 1 forces the serial reference
+// engine. An explicit negative value is rejected; 0 means "use the
+// default".
 func WithAnalysisParallelism(n int) Option {
 	return func(e *Experiment) { e.AnalysisParallelism = n }
 }

@@ -316,7 +316,11 @@ func combineEvidence(datasets []DatasetResult) (allMeaningful bool, wilcoxonP fl
 // recommended test; it is the engine behind Experiment.Run, Analyze and the
 // deprecated Compare family. The bootstrap resampling is sharded across
 // `workers` goroutines with (seed, bootstrap)-deterministic shard streams,
-// so evaluations are bit-identical at any worker count.
+// so evaluations are bit-identical at any worker count. The P(A>B)
+// statistic dispatches as a fused kernel (internal/stats.PABKernel): each
+// resample accumulates straight from sampled indices with no resample
+// buffer and no steady-state allocation, under a determinism contract that
+// keeps the resulting CIs bit-identical to the buffered closure path.
 type protocol struct {
 	gamma     float64
 	level     float64
