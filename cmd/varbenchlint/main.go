@@ -1,0 +1,158 @@
+// Command varbenchlint is the multichecker for varbench's project-specific
+// static analyzers (internal/lint): nondeterm, jsonsafe, seedflow and
+// poolput — the determinism and NaN-safety contracts of the benchmark
+// engine, enforced mechanically instead of by prose.
+//
+// Standalone over package patterns (exit 1 on findings):
+//
+//	go run ./cmd/varbenchlint ./...
+//	go run ./cmd/varbenchlint -format github ./...   # CI annotations
+//	go run ./cmd/varbenchlint -checks nondeterm,jsonsafe ./internal/stats
+//
+// Or as a vet tool, speaking go vet's separate-compilation protocol
+// (-V=full, -flags, unit.cfg):
+//
+//	go build -o "$(go env GOPATH)/bin/varbenchlint" ./cmd/varbenchlint
+//	go vet -vettool="$(which varbenchlint)" ./...
+//
+// Intentional violations carry an inline, reasoned escape hatch:
+//
+//	//lint:allow nondeterm(Elapsed is wall-clock metadata, not result state)
+//
+// See internal/lint's package documentation for each analyzer's contract.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"varbench/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("varbenchlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "finding output format: text or github (::error workflow annotations)")
+	checks := fs.String("checks", "", "comma-separated analyzer subset to run (default: all)")
+	dir := fs.String("C", ".", "directory to resolve package patterns from")
+	version := fs.String("V", "", "version query (go vet protocol; -V=full prints the tool identity)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (go vet protocol)")
+	printFlags := fs.Bool("flags", false, "print the tool's flags as JSON (go vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: varbenchlint [-format text|github] [-checks a,b] [packages]")
+		fmt.Fprintln(stderr, "       varbenchlint unit.cfg   (invoked by go vet -vettool)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version != "" {
+		// go vet fingerprints the tool for build caching and requires devel
+		// versions to end in a buildID= field; hash the binary so the
+		// fingerprint changes whenever the tool does.
+		fmt.Fprintf(stdout, "varbenchlint version devel buildID=%s\n", selfSum())
+		return 0
+	}
+	if *printFlags {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "varbenchlint:", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0], analyzers, *jsonOut, stdout, stderr)
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "varbenchlint:", err)
+		return 2
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, analyzers) {
+			found++
+			printDiagnostic(stdout, *format, pkg, d)
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "varbenchlint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves a -checks subset ("" means the whole suite).
+func selectAnalyzers(checks string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if checks == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: nondeterm, jsonsafe, seedflow, poolput)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func printDiagnostic(w io.Writer, format string, pkg *lint.Package, d lint.Diagnostic) {
+	posn := pkg.Fset.Position(d.Pos)
+	file := posn.Filename
+	if rel, err := filepath.Rel(".", file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	if format == "github" {
+		// One workflow-command line per finding: GitHub renders these as
+		// inline PR annotations and in the job summary.
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::[%s] %s\n",
+			file, posn.Line, posn.Column, d.Analyzer, d.Message)
+		return
+	}
+	fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", file, posn.Line, posn.Column, d.Analyzer, d.Message)
+}
+
+// selfSum hashes the running binary for -V=full build fingerprints.
+func selfSum() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -1,0 +1,20 @@
+// Package seeded is a deliberately violating fixture: the varbenchlint
+// integration test (and, through it, CI) feeds this package to the linter
+// and demands a jsonsafe finding plus a nonzero exit — proving the lint
+// gate actually fails when a contract is broken. It is under testdata so
+// ./... wildcards never build or lint it as production code.
+package seeded
+
+import "encoding/json"
+
+// Point carries raw floats with no MarshalJSON sanitizer: marshalling it
+// directly is exactly what jsonsafe exists to catch.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Marshal trips the jsonsafe analyzer.
+func Marshal(p Point) ([]byte, error) {
+	return json.Marshal(p)
+}

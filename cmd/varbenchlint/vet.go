@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"varbench/internal/lint"
+)
+
+// go vet's separate-compilation protocol: for every package in the build
+// graph the go command hands the tool a JSON .cfg describing one
+// compilation unit — source files, the resolved import map, and the
+// export-data file of every dependency (already produced by the compiler).
+// The tool typechecks that one unit, analyzes it, writes its facts file
+// (varbenchlint keeps no cross-package facts, so an empty one) and reports
+// findings on stderr with a nonzero exit. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker without the dependency.
+
+// vetConfig is the wire format of the .cfg file (a subset of the fields the
+// go command writes; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "varbenchlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "varbenchlint: cannot decode config %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// The facts file must exist for the go command's caching even though
+	// varbenchlint has no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "varbenchlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it better
+			}
+			fmt.Fprintln(stderr, "varbenchlint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	compilerImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return compilerImporter.Import(path)
+	})
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "varbenchlint:", err)
+		return 2
+	}
+
+	// The contracts bind production code: test files are typechecked (the
+	// package needs them) but not analyzed — tests use wall clocks and
+	// ad-hoc seeds legitimately.
+	var analyzed []*ast.File
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go") {
+			analyzed = append(analyzed, f)
+		}
+	}
+	if len(analyzed) == 0 {
+		return 0
+	}
+	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: analyzed, Types: tpkg, Info: info}
+	diags := lint.Run(pkg, analyzers)
+
+	if jsonOut {
+		// go vet -json merges each tool's stdout JSON: pkgID → analyzer →
+		// findings.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer],
+				jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message})
+		}
+		tree := map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(tree); err != nil {
+			fmt.Fprintln(stderr, "varbenchlint:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

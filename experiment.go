@@ -193,7 +193,7 @@ func (e Experiment) Run(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow nondeterm(Elapsed is wall-clock metadata, not part of the deterministic result)
 	res := &Result{
 		Name:  cfg.Name,
 		Gamma: cfg.Gamma,
@@ -214,7 +214,7 @@ func (e Experiment) Run(ctx context.Context) (*Result, error) {
 		res.EarlyStopped = dr.EarlyStopped
 		res.StopReason = dr.StopReason
 		res.WilcoxonP = 1
-		res.Elapsed = time.Since(start)
+		res.Elapsed = time.Since(start) //lint:allow nondeterm(Elapsed is wall-clock metadata, not part of the deterministic result)
 		return res, nil
 	}
 
@@ -286,7 +286,7 @@ func (e Experiment) Run(ctx context.Context) (*Result, error) {
 	}
 	res.EarlyStopped = earlyAll
 	res.AllMeaningful, res.WilcoxonP = combineEvidence(res.Datasets)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //lint:allow nondeterm(Elapsed is wall-clock metadata, not part of the deterministic result)
 	return res, nil
 }
 

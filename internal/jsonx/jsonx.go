@@ -30,7 +30,7 @@ func Marshal(v any) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(tree)
+	return json.Marshal(tree) //lint:allow jsonsafe(tree is the sanitizer's own output: every non-finite float is already a string)
 }
 
 // MarshalIndent is the indented counterpart of Marshal.
@@ -39,7 +39,7 @@ func MarshalIndent(v any, prefix, indent string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.MarshalIndent(tree, prefix, indent)
+	return json.MarshalIndent(tree, prefix, indent) //lint:allow jsonsafe(tree is the sanitizer's own output: every non-finite float is already a string)
 }
 
 var marshalerType = reflect.TypeOf((*json.Marshaler)(nil)).Elem()
@@ -226,7 +226,7 @@ func (o *orderedObject) MarshalJSON() ([]byte, error) {
 		}
 		buf.Write(k)
 		buf.WriteByte(':')
-		v, err := json.Marshal(o.vals[i])
+		v, err := json.Marshal(o.vals[i]) //lint:allow jsonsafe(vals hold sanitized subtrees built by sanitize, never raw floats)
 		if err != nil {
 			return nil, err
 		}

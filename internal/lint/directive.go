@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //lint:allow escape hatch. Form:
+//
+//	//lint:allow analyzer(reason)
+//
+// placed on the flagged line or alone on the line directly above it. The
+// analyzer name must be one of the suite's analyzers and the reason must be
+// non-empty: the directive is the project's record of WHY a violation is
+// legitimate, so a reasonless one is rejected. Parsing fails closed — any
+// malformed directive is itself reported, and a well-formed directive that
+// suppresses nothing is reported as unused rather than silently ignored.
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed and
+// unused //lint:allow directives are reported. It is deliberately not in
+// knownAnalyzers: directive problems cannot be allowed away.
+const DirectiveAnalyzer = "lintdirective"
+
+const allowPrefix = "//lint:allow"
+
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	pos      token.Pos
+	bad      string // non-empty: why the directive is malformed
+	used     bool
+}
+
+// parseDirectives collects every //lint:allow directive in files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var dirs []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				posn := fset.Position(c.Slash)
+				d := &directive{file: posn.Filename, line: posn.Line, pos: c.Slash}
+				d.parse(strings.TrimPrefix(c.Text, allowPrefix))
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// parse fills d from the directive body following "//lint:allow".
+func (d *directive) parse(body string) {
+	spec := strings.TrimSpace(body)
+	if spec == "" {
+		d.bad = "want //lint:allow analyzer(reason)"
+		return
+	}
+	if body == spec { // "//lint:allowxyz": not a word boundary
+		d.bad = fmt.Sprintf("unrecognized directive %q, want //lint:allow analyzer(reason)", allowPrefix+body)
+		return
+	}
+	open := strings.IndexByte(spec, '(')
+	if open < 0 {
+		d.bad = fmt.Sprintf("missing (reason) after analyzer name %q", spec)
+		return
+	}
+	name := strings.TrimSpace(spec[:open])
+	if !knownAnalyzers[name] {
+		d.bad = fmt.Sprintf("unknown analyzer %q", name)
+		return
+	}
+	rest := spec[open+1:]
+	end := strings.LastIndexByte(rest, ')')
+	if end < 0 || strings.TrimSpace(rest[end+1:]) != "" {
+		d.bad = fmt.Sprintf("directive for %q must end with (reason)", name)
+		return
+	}
+	reason := strings.TrimSpace(rest[:end])
+	if reason == "" {
+		d.bad = fmt.Sprintf("empty reason for %q: say why the violation is legitimate", name)
+		return
+	}
+	d.analyzer = name
+	d.reason = reason
+}
+
+// applyDirectives drops findings covered by a well-formed directive on the
+// same or the preceding line, and appends findings for malformed directives
+// and for directives that suppressed nothing.
+func applyDirectives(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, raw []Diagnostic) []Diagnostic {
+	dirs := parseDirectives(fset, files)
+	if len(dirs) == 0 {
+		return raw
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, diag := range raw {
+		posn := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range dirs {
+			if d.bad != "" || d.analyzer != diag.Analyzer || d.file != posn.Filename {
+				continue
+			}
+			if d.line == posn.Line || d.line == posn.Line-1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.bad != "":
+			out = append(out, Diagnostic{
+				Analyzer: DirectiveAnalyzer,
+				Pos:      d.pos,
+				Message:  "malformed //lint:allow directive: " + d.bad,
+			})
+		case !d.used && ran[d.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: DirectiveAnalyzer,
+				Pos:      d.pos,
+				Message: fmt.Sprintf("unused //lint:allow directive: no %s finding on this line or the next",
+					d.analyzer),
+			})
+		}
+	}
+	return out
+}

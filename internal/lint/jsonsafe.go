@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// The jsonsafe analyzer: encoding/json rejects NaN and ±Inf outright
+// ("json: unsupported value: NaN"), so a single undefined statistic — a
+// NaN standard error at degenerate n, an Inf ratio — turns a whole report
+// into a marshalling error at render time. Every json.Marshal /
+// json.MarshalIndent / (*json.Encoder).Encode call whose argument type can
+// transitively carry a float must therefore route through a MarshalJSON
+// implementation (in this module, the internal/jsonx sanitizer). A type
+// implementing json.Marshaler is trusted: the jsonx-backed MarshalJSON
+// wrappers on the report types are exactly that path. Interface-typed
+// arguments (any, []any) are flagged too — the analyzer cannot see the
+// dynamic type, so the call site must prove finiteness with a reasoned
+// //lint:allow jsonsafe(...) or marshal through jsonx.
+
+// JSONSafe is the suite's float-safety analyzer for encoding/json calls.
+var JSONSafe = &Analyzer{
+	Name: "jsonsafe",
+	Doc: "flag encoding/json marshalling of float-bearing types that do not " +
+		"implement the jsonx MarshalJSON path (NaN/Inf would fail to encode)",
+	Run: runJSONSafe,
+}
+
+func runJSONSafe(p *Pass) {
+	var marshaler *types.Interface // encoding/json.Marshaler, resolved lazily
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(p.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+				return true
+			}
+			k := keyOf(fn)
+			isMarshal := k.recv == "" && (k.name == "Marshal" || k.name == "MarshalIndent")
+			isEncode := k.recv == "Encoder" && k.name == "Encode"
+			if (!isMarshal && !isEncode) || len(call.Args) == 0 {
+				return true
+			}
+			tv, ok := p.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Type == nil || tv.IsNil() {
+				return true
+			}
+			if marshaler == nil {
+				obj := fn.Pkg().Scope().Lookup("Marshaler")
+				if obj == nil {
+					return true
+				}
+				marshaler, _ = obj.Type().Underlying().(*types.Interface)
+				if marshaler == nil {
+					return true
+				}
+			}
+			w := witness{marshaler: marshaler, seen: make(map[types.Type]bool)}
+			path, kind := w.find(tv.Type, "")
+			switch kind {
+			case witnessFloat:
+				p.Reportf(call.Args[0].Pos(),
+					"json.%s of %s: %s is a float with no MarshalJSON sanitizer on the path; "+
+						"a NaN or ±Inf value fails to encode — route through internal/jsonx",
+					k.name, types.TypeString(tv.Type, types.RelativeTo(p.Pkg)), describe(path))
+			case witnessInterface:
+				p.Reportf(call.Args[0].Pos(),
+					"json.%s of %s: %s is interface-typed, so its dynamic value may carry "+
+						"non-finite floats; route through internal/jsonx or prove finiteness "+
+						"with //lint:allow jsonsafe(...)",
+					k.name, types.TypeString(tv.Type, types.RelativeTo(p.Pkg)), describe(path))
+			}
+			return true
+		})
+	}
+}
+
+func describe(path string) string {
+	// A top-level witness carries only the " (type)" suffix, no field path.
+	if path == "" || strings.HasPrefix(path, " ") {
+		return "the argument" + path
+	}
+	return "the argument's " + path
+}
+
+type witnessKind int
+
+const (
+	witnessNone witnessKind = iota
+	witnessFloat
+	witnessInterface
+)
+
+// witness walks a type the way encoding/json would marshal a value of it,
+// looking for a reachable float (or an interface that could hide one).
+type witness struct {
+	marshaler *types.Interface
+	seen      map[types.Type]bool
+}
+
+// find returns the access path to the first float or non-Marshaler
+// interface reachable from t, preferring the concrete float (the stronger
+// finding) over an interface when both exist.
+func (w *witness) find(t types.Type, path string) (string, witnessKind) {
+	if w.safe(t) {
+		return "", witnessNone
+	}
+	if w.seen[t] {
+		return "", witnessNone
+	}
+	w.seen[t] = true
+	defer delete(w.seen, t)
+
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.Float32 || u.Kind() == types.Float64 ||
+			u.Kind() == types.Complex64 || u.Kind() == types.Complex128 {
+			return path + " (" + u.String() + ")", witnessFloat
+		}
+	case *types.Pointer:
+		return w.find(u.Elem(), path)
+	case *types.Slice:
+		// []byte marshals to base64, never element-wise.
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+			return "", witnessNone
+		}
+		return w.find(u.Elem(), path+"[]")
+	case *types.Array:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+			return "", witnessNone
+		}
+		return w.find(u.Elem(), path+"[]")
+	case *types.Map:
+		return w.find(u.Elem(), path+"[value]")
+	case *types.Struct:
+		bestPath, best := "", witnessNone
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if reflect.StructTag(u.Tag(i)).Get("json") == "-" {
+				continue
+			}
+			fieldPath := strings.TrimPrefix(path+"."+f.Name(), ".")
+			p, kind := w.find(f.Type(), fieldPath)
+			if kind == witnessFloat {
+				return p, kind
+			}
+			if kind == witnessInterface && best == witnessNone {
+				bestPath, best = p, kind
+			}
+		}
+		return bestPath, best
+	case *types.Interface:
+		return path + " (" + types.TypeString(t, nil) + ")", witnessInterface
+	}
+	return "", witnessNone
+}
+
+// safe reports whether t handles its own encoding via json.Marshaler
+// (checked on both the value and the pointer method set, matching
+// encoding/json's addressable-value behavior).
+func (w *witness) safe(t types.Type) bool {
+	return types.Implements(t, w.marshaler) ||
+		types.Implements(types.NewPointer(t), w.marshaler)
+}

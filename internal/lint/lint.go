@@ -1,0 +1,101 @@
+// Package lint implements varbench's project-specific static analyzers:
+// mechanical enforcement of the contracts every report, golden test and
+// resumable store depend on but that ordinary tests only catch when a case
+// happens to exercise the offending path.
+//
+// The suite (see Analyzers):
+//
+//   - nondeterm: no wall-clock, process-entropy or map-iteration-order
+//     nondeterminism inside the deterministic zones (DeterministicZones) —
+//     the packages whose outputs must be bit-identical at any worker count.
+//   - jsonsafe: every encoding/json Marshal/Encode whose argument can carry
+//     a float must go through a MarshalJSON sanitizer (internal/jsonx), so
+//     NaN/±Inf standard errors cannot make a report unserializable.
+//   - seedflow: seeds handed to xrand constructors must come from declared
+//     derivations (Split, seed tables, named helpers), never from
+//     loop-variable arithmetic invented at the call site.
+//   - poolput: sync.Pool.Put of a buffer whose slice header was reassigned
+//     out from under the pooled pointer — the aliasing bug class of the
+//     pooled bootstrap engine.
+//
+// A finding that is intentional carries an explicit, reasoned escape hatch
+// on its line (or the line above):
+//
+//	//lint:allow nondeterm(Elapsed is wall-clock metadata, not part of the result)
+//
+// The directive parser fails closed: an unknown analyzer name, a missing
+// reason or a directive that suppresses nothing is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// An Analyzer is one named invariant checker, the stdlib-only analogue of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Nondeterm, JSONSafe, SeedFlow, PoolPut}
+}
+
+// knownAnalyzers is the closed set of names an allow directive may cite.
+var knownAnalyzers = map[string]bool{
+	"nondeterm": true,
+	"jsonsafe":  true,
+	"seedflow":  true,
+	"poolput":   true,
+}
+
+// Run executes analyzers over pkg and applies the //lint:allow directives:
+// suppressed findings are dropped, malformed and unused directives are
+// reported. Diagnostics come back in position order.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		a.Run(pass)
+	}
+	out := applyDirectives(pkg.Fset, pkg.Files, analyzers, raw)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The poolput analyzer: the aliasing bug class of pooled buffers. The
+// engine's idiom pools slices BY POINTER (*[]T) and updates the header
+// through the pooled pointer (*p = (*p)[:n]), so the pointer put back
+// always owns the buffer actually used. Two deviations break that:
+//
+//  1. pool.Put(p) after a local alias of *p was reassigned (buf := *p;
+//     buf = append(buf, ...)) without writing the new header back through
+//     p — the pool retains the stale header, silently dropping the grown
+//     buffer or resurfacing a short one.
+//
+//  2. pool.Put(&buf) where buf was reassigned under a condition — which
+//     header goes back now depends on branch history, and on the
+//     not-reassigned path &buf can alias an allocation whose original
+//     pooled pointer is put back elsewhere, yielding two pool entries that
+//     share one backing array.
+//
+// Unconditional fresh-buffer puts (s := make(...); pool.Put(&s)) and
+// writebacks through the pooled pointer are untouched.
+
+// PoolPut is the suite's sync.Pool aliasing analyzer.
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc: "catch sync.Pool.Put of a buffer whose slice header was reassigned " +
+		"out from under the pooled pointer",
+	Run: runPoolPut,
+}
+
+func runPoolPut(p *Pass) {
+	for _, file := range p.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			fn := callee(p.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if k := keyOf(fn); k.pkg != "sync" || k.recv != "Pool" || k.name != "Put" {
+				return true
+			}
+			body := enclosingFuncBody(stack)
+			if body == nil {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.Ident: // pool.Put(p)
+				obj := p.TypesInfo.Uses[arg]
+				if obj == nil {
+					return true
+				}
+				if alias := staleAlias(p, body, obj); alias != "" {
+					p.Reportf(call.Pos(),
+						"sync.Pool.Put(%s) but %q, an alias of *%s, was reassigned without a "+
+							"writeback through the pooled pointer; the pool retains a stale "+
+							"slice header — assign *%s = %s before Put",
+						arg.Name, alias, arg.Name, arg.Name, alias)
+				}
+			case *ast.UnaryExpr: // pool.Put(&buf)
+				if arg.Op != token.AND {
+					return true
+				}
+				id, ok := ast.Unparen(arg.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.TypesInfo.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if _, cond := assignments(p, body, obj); cond {
+					p.Reportf(call.Pos(),
+						"sync.Pool.Put(&%s) of a conditionally reassigned buffer: which slice "+
+							"header is pooled depends on branch history, and the untouched path "+
+							"can alias a buffer pooled elsewhere; pool by pointer and update it "+
+							"with *p = %s instead",
+						id.Name, id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// assignments reports whether obj is plainly reassigned (tok =) anywhere in
+// body, and whether any such assignment is conditional — nested under an
+// if, for, range, switch, select, case body or function literal.
+func assignments(p *Pass, body *ast.BlockStmt, obj types.Object) (reassigned, conditional bool) {
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || p.TypesInfo.Uses[id] != obj {
+				continue
+			}
+			reassigned = true
+			if underBranch(stack) {
+				conditional = true
+			}
+		}
+		return true
+	})
+	return reassigned, conditional
+}
+
+// underBranch reports whether the innermost node of stack sits under a
+// control-flow construct (relative to the walk root, which is a function
+// body).
+func underBranch(stack []ast.Node) bool {
+	for _, n := range stack[:len(stack)-1] {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.CaseClause,
+			*ast.CommClause, *ast.FuncLit:
+			return true
+		}
+	}
+	return false
+}
+
+// staleAlias looks for the classic pooled-slice bug around pool.Put(p):
+// a local alias of the pooled buffer (buf := *p, possibly resliced) that is
+// later reassigned, with no writeback assignment through *p anywhere in the
+// function. It returns the alias's name, or "" when the put is clean.
+func staleAlias(p *Pass, body *ast.BlockStmt, pooled types.Object) string {
+	var aliases []types.Object
+	aliasName := make(map[types.Object]string)
+	writeback := false
+
+	// refersToPooled reports whether e is *pooled or a reslice of *pooled.
+	var refersToPooled func(e ast.Expr) bool
+	refersToPooled = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.StarExpr:
+			id, ok := ast.Unparen(e.X).(*ast.Ident)
+			return ok && p.TypesInfo.Uses[id] == pooled
+		case *ast.SliceExpr:
+			return refersToPooled(e.X)
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			// Writeback: *p = ... anywhere in the function clears the hazard.
+			if as.Tok == token.ASSIGN && refersToPooled(lhs) {
+				writeback = true
+				continue
+			}
+			// Alias creation: buf := *p (or buf := (*p)[:n]).
+			if as.Tok == token.DEFINE && i < len(as.Rhs) && refersToPooled(as.Rhs[i]) {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := p.TypesInfo.Defs[id]; obj != nil {
+						aliases = append(aliases, obj)
+						aliasName[obj] = id.Name
+					}
+				}
+			}
+		}
+		return true
+	})
+	if writeback {
+		return ""
+	}
+	for _, alias := range aliases {
+		if reassigned, _ := assignments(p, body, alias); reassigned {
+			return aliasName[alias]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,57 @@
+// Package jsonsafe is a lint fixture: encoding/json calls over float-bearing
+// and interface-typed arguments must be flagged; types that own their
+// encoding via json.Marshaler, and byte slices, are safe.
+package jsonsafe
+
+import "encoding/json"
+
+type Stats struct {
+	Name string
+	Mean float64
+}
+
+// Safe implements json.Marshaler, standing in for the jsonx-backed report
+// wrappers: its floats are sanitized inside MarshalJSON.
+type Safe struct {
+	Mean float64
+}
+
+func (Safe) MarshalJSON() ([]byte, error) { return []byte(`{}`), nil }
+
+type Wrapped struct {
+	Inner Safe
+	Count int
+}
+
+type Nested struct {
+	Tag   string
+	Cells []Stats
+}
+
+func marshalStats(s Stats) ([]byte, error) {
+	return json.Marshal(s) // want `the argument's Mean \(float64\) is a float`
+}
+
+func marshalNested(n Nested) ([]byte, error) {
+	return json.Marshal(n) // want `Cells\[\]\.Mean \(float64\) is a float`
+}
+
+func marshalAny(v any) ([]byte, error) {
+	return json.Marshal(v) // want `interface-typed, so its dynamic value may carry non-finite floats`
+}
+
+func encodeStats(enc *json.Encoder, s Stats) error {
+	return enc.Encode(s) // want `json\.Encode of Stats`
+}
+
+func marshalSafe(w Wrapped) ([]byte, error) {
+	return json.Marshal(w) // Safe implements json.Marshaler: no finding
+}
+
+func marshalBytes(b []byte) ([]byte, error) {
+	return json.Marshal(b) // []byte marshals to base64: no finding
+}
+
+func marshalAllowed(s Stats) ([]byte, error) {
+	return json.Marshal(s) //lint:allow jsonsafe(fixture: all values proven finite upstream)
+}

@@ -1,0 +1,31 @@
+// Package nondeterm is a lint fixture: the whole package sits inside a
+// deterministic zone, so every ambient-entropy read below must be flagged
+// unless an allow directive covers it.
+package nondeterm
+
+import (
+	"math/rand" // want `import math/rand inside a deterministic zone`
+	"time"
+)
+
+func clocked() time.Duration {
+	start := time.Now()      // want `call to time.Now inside a deterministic zone`
+	return time.Since(start) // want `call to time.Since inside a deterministic zone`
+}
+
+func allowedClock() time.Time {
+	return time.Now() //lint:allow nondeterm(fixture: wall-clock metadata, not result state)
+}
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map inside a deterministic zone`
+		total += v
+	}
+	keys := make([]string, 0, len(m))
+	//lint:allow nondeterm(fixture: order-independent key collection, sorted by the caller)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return total + len(keys) + rand.Int()
+}

@@ -1,0 +1,22 @@
+// Package outzone is a lint fixture: the same constructs the nondeterm
+// fixture flags, in a package OUTSIDE every deterministic zone. Nothing here
+// may be reported.
+package outzone
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocked() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total + rand.Int()
+}

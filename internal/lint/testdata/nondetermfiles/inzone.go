@@ -1,0 +1,9 @@
+// Package nondetermfiles is a lint fixture for file-scoped zones: the zone
+// names only inzone.go, so this file is governed and outzone.go is not.
+package nondetermfiles
+
+import "time"
+
+func clockedIn() time.Time {
+	return time.Now() // want `call to time.Now inside a deterministic zone`
+}

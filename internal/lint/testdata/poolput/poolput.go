@@ -1,0 +1,52 @@
+// Package poolput is a lint fixture: sync.Pool.Put of a stale or
+// branch-dependent slice header must be flagged; the engine's
+// writeback-through-the-pooled-pointer idiom stays clean.
+package poolput
+
+import "sync"
+
+var pool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 64)
+	return &s
+}}
+
+func stale(n int) {
+	p := pool.Get().(*[]float64)
+	buf := (*p)[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, float64(i))
+	}
+	pool.Put(p) // want `the pool retains a stale slice header`
+}
+
+func writeback(n int) {
+	p := pool.Get().(*[]float64)
+	buf := (*p)[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, float64(i))
+	}
+	*p = buf // header written back through the pooled pointer: no finding
+	pool.Put(p)
+}
+
+func conditional(grow bool) {
+	buf := make([]float64, 0, 8)
+	if grow {
+		buf = append(buf, 1)
+	}
+	pool.Put(&buf) // want `conditionally reassigned buffer`
+}
+
+func unconditional() {
+	buf := make([]float64, 0, 8)
+	buf = append(buf, 1) // plain straight-line reassignment: no finding
+	pool.Put(&buf)
+}
+
+func allowed(grow bool) {
+	buf := make([]float64, 0, 8)
+	if grow {
+		buf = append(buf, 1)
+	}
+	pool.Put(&buf) //lint:allow poolput(fixture: single-goroutine scratch pool, header identity is irrelevant)
+}

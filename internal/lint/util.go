@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callee resolves the *types.Func a call invokes, or nil for conversions,
+// built-ins and dynamic calls through function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcKey identifies a function or method by package path, receiver type
+// name ("" for package-level functions) and name.
+type funcKey struct {
+	pkg  string
+	recv string
+	name string
+}
+
+// keyOf returns fn's funcKey, dereferencing a pointer receiver.
+func keyOf(fn *types.Func) funcKey {
+	if fn.Pkg() == nil {
+		return funcKey{}
+	}
+	k := funcKey{pkg: fn.Pkg().Path(), name: fn.Name()}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			k.recv = named.Obj().Name()
+		}
+	}
+	return k
+}
+
+// isConversion reports whether call is a type conversion, not a function
+// call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	return ok && tv.IsType()
+}
+
+// enclosingFuncBody returns the body of the innermost function literal or
+// declaration on stack (a root-to-node ancestor path), or nil.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// inspectWithStack walks root like ast.Inspect while maintaining the
+// ancestor path; fn receives each node with stack[len-1] == n.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Inspect sends no closing nil when f returns false: pop now.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}

@@ -79,7 +79,7 @@ func (s *Streams) Clone() *Streams {
 		seeds:   make(map[Var]uint64, len(s.seeds)),
 		sources: make(map[Var]*Source),
 	}
-	for v, seed := range s.seeds {
+	for v, seed := range s.seeds { //lint:allow nondeterm(map-to-map copy; no order-dependent state escapes)
 		c.seeds[v] = seed
 	}
 	return c
@@ -126,7 +126,7 @@ func (s *Streams) Get(v Var) *Source {
 // results).
 func (s *Streams) Checkpoint() []byte {
 	vars := make([]string, 0, len(s.seeds))
-	for v := range s.seeds {
+	for v := range s.seeds { //lint:allow nondeterm(keys are sorted below before any byte is serialized)
 		vars = append(vars, string(v))
 	}
 	sort.Strings(vars)

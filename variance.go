@@ -159,7 +159,7 @@ func (s VarianceStudy) Run(ctx context.Context) (*VarianceReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow nondeterm(Elapsed is wall-clock metadata, not part of the deterministic result)
 
 	// One cell = one realization of one row (a single source, or the joint
 	// row varying every probed source at once). Each cell is an independent
@@ -259,7 +259,7 @@ func (s VarianceStudy) Run(ctx context.Context) (*VarianceReport, error) {
 	}
 	rep.Sources = rows[:jointRow]
 	rep.Joint = rows[jointRow]
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = time.Since(start) //lint:allow nondeterm(Elapsed is wall-clock metadata, not part of the deterministic result)
 	return rep, nil
 }
 
