@@ -8,6 +8,7 @@
 //	varbench <experiment> [flags]
 //	varbench compare -a scoresA.csv -b scoresB.csv [flags]
 //	varbench variance [-task name] [-sources spec] [flags]
+//	varbench watch -file scores.csv [-follow] [flags]
 //
 // Experiments: fig1 fig2 fig3 fig5 figH5 fig6 figC1 figF2 figG3 figI6
 // table8 appendixC spaces env all (figH4 is accepted as an alias of fig5,
@@ -30,6 +31,13 @@
 // (per-source share, joint randomization, SE-vs-k curves, bias/Var/ρ/MSE)
 // and renders the VarianceReport as text, JSON or CSV; see
 // `varbench variance -h` for its flags.
+//
+// The watch subcommand streams a growing score file — `a,b` CSV or
+// `{"a": .., "b": ..}` JSONL lines, one paired trial each — through the
+// incremental analysis engine: each new line costs O(K) bootstrap work,
+// never a re-analysis of the history. With -follow it tails the file;
+// with -store the analysis snapshot survives interrupts and a rerun
+// resumes without recomputation; see `varbench watch -h` for its flags.
 package main
 
 import (
@@ -96,6 +104,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if len(args) > 0 && args[0] == "variance" {
 		return runVariance(ctx, args[1:], w)
 	}
+	if len(args) > 0 && args[0] == "watch" {
+		return runWatch(ctx, args[1:], w)
+	}
 
 	fs := flag.NewFlagSet("varbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced experiment budget")
@@ -105,6 +116,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintln(fs.Output(), "usage: varbench <experiment> [flags]")
 		fmt.Fprintln(fs.Output(), "       varbench compare -a scoresA.csv -b scoresB.csv [flags]")
 		fmt.Fprintln(fs.Output(), "       varbench variance [-task name] [-sources spec] [flags]")
+		fmt.Fprintln(fs.Output(), "       varbench watch -file scores.csv [-follow] [flags]")
 		fmt.Fprintln(fs.Output(), "experiments: fig1 fig2 fig3 fig5 (alias figH4) figH5 fig6 figC1 figF2 figG3 figI6 table8 appendixC spaces env all")
 		fs.PrintDefaults()
 	}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeScoreFile renders n deterministic paired score lines.
+func writeScoreFile(t *testing.T, path string, n int) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("# synthetic paired scores\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "0.%02d,0.%02d\n", 80+i%15, 60+(i*7)%20)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchCommand: a bounded (non-follow) watch over a CSV score file
+// renders the same conclusion as `varbench compare` over per-line score
+// columns would — and the report is deterministic across reruns.
+func TestWatchCommand(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "scores.csv")
+	writeScoreFile(t, file, 12)
+
+	var first, second bytes.Buffer
+	args := []string{"watch", "-file", file, "-seed", "3", "-gamma", "0.6"}
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("watch reruns differ:\n%s\n---\n%s", first.String(), second.String())
+	}
+	for _, want := range []string{"P(A>B)", "conclusion"} {
+		if !strings.Contains(strings.ToLower(first.String()), strings.ToLower(want)) {
+			t.Errorf("watch report lacks %q:\n%s", want, first.String())
+		}
+	}
+
+	// JSONL input with the same values concludes identically.
+	jsonl := filepath.Join(dir, "scores.jsonl")
+	var buf bytes.Buffer
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&buf, "{\"a\": 0.%02d, \"b\": 0.%02d}\n", 80+i%15, 60+(i*7)%20)
+	}
+	if err := os.WriteFile(jsonl, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON bytes.Buffer
+	if err := run(context.Background(), []string{"watch", "-file", jsonl, "-seed", "3", "-gamma", "0.6"}, &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.String() != first.String() {
+		t.Errorf("JSONL watch differs from CSV watch:\n%s\n---\n%s", fromJSON.String(), first.String())
+	}
+}
+
+// TestWatchCommandErrors pins the flag validation and the too-few-pairs
+// failure.
+func TestWatchCommandErrors(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"watch"}, &out); err == nil {
+		t.Error("watch without -file accepted")
+	}
+	if err := run(context.Background(), []string{"watch", "-file", "x", "-store", dir}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-id") {
+		t.Errorf("watch -store without -id: %v", err)
+	}
+	one := filepath.Join(dir, "one.csv")
+	if err := os.WriteFile(one, []byte("0.5,0.4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"watch", "-file", one}, &out); err == nil ||
+		!strings.Contains(err.Error(), "not enough") {
+		t.Errorf("1-pair watch: %v", err)
+	}
+	if err := run(context.Background(), []string{"watch", "-file", one, "-format", "bogus"}, &out); err == nil {
+		t.Error("bogus format accepted")
+	}
+}
+
+// TestWatchCommandFollowInterrupt: a -follow watch with -store, canceled
+// while tailing, flushes its snapshot and reports context.Canceled (main
+// maps that to exit 130); the resumed bounded run renders a report
+// byte-identical to an uninterrupted bounded run.
+func TestWatchCommandFollowInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "scores.csv")
+	writeScoreFile(t, file, 10)
+	storeDir := filepath.Join(dir, "store")
+
+	var clean bytes.Buffer
+	base := []string{"watch", "-file", file, "-seed", "7"}
+	if err := run(context.Background(), base, &clean); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	withStore := append(base[:len(base):len(base)], "-store", storeDir, "-id", "ci")
+	followArgs := append(withStore[:len(withStore):len(withStore)], "-follow", "-poll", "10ms")
+	done := make(chan error, 1)
+	var followed bytes.Buffer
+	go func() { done <- run(ctx, followArgs, &followed) }()
+	time.Sleep(200 * time.Millisecond) // let the tail consume the file
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("interrupted follow: want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow watch did not exit after cancel")
+	}
+	// The interrupt already rendered the conclusion over the pairs so far.
+	if followed.String() != clean.String() {
+		t.Errorf("interrupted follow report differs:\n%s\n---\n%s", followed.String(), clean.String())
+	}
+
+	// Resume: the bounded rerun replays the hash-verified prefix from the
+	// flushed snapshot and must render the identical report.
+	var resumed bytes.Buffer
+	if err := run(context.Background(), withStore, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != clean.String() {
+		t.Errorf("resumed watch differs from uninterrupted run:\n%s\n---\n%s", resumed.String(), clean.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"varbench/internal/compare"
 	"varbench/internal/stats"
 	"varbench/internal/xrand"
 	"varbench/store"
@@ -65,7 +66,8 @@ type Progress struct {
 	// MaxRuns is the collection cap.
 	MaxRuns int
 	// Interim is the recommended test on the pairs so far; nil before
-	// MinRuns pairs exist or when early stopping is off.
+	// MinRuns pairs exist, when early stopping is off, or while a resumed
+	// run replays batches a persisted analysis snapshot already covers.
 	Interim *Comparison
 }
 
@@ -319,7 +321,7 @@ func (e Experiment) Collect(ctx context.Context) ([]float64, error) {
 	for lo := 0; lo < cfg.MaxRuns; lo += cfg.BatchSize {
 		hi := min(lo+cfg.BatchSize, cfg.MaxRuns)
 		batch = stream.take(batch[:0], hi-lo)
-		out = append(out, make([]float64, hi-lo)...)
+		out = growFloats(out, hi-lo)
 		if err := collectRuns(ctx, cache, run, batch, out[lo:hi], cfg.Parallelism); err != nil {
 			return nil, err
 		}
@@ -440,12 +442,24 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 	}
 	var outA, outB []float64
 	batch := make([]Trial, 0, e.BatchSize)
-	proto := protocol{
-		gamma:     gamma,
-		level:     e.Confidence,
-		bootstrap: e.Bootstrap,
-		seed:      xrand.New(e.datasetRoot(ds.Name)).Split("analysis/bootstrap").Uint64(),
-		workers:   e.AnalysisParallelism,
+	// One incremental analysis state threads through every batch boundary:
+	// each batch extends the state's K weighted resamples by its new pairs
+	// (O(K × n_new)) instead of re-running the full bootstrap on all n
+	// collected pairs (O(K × n) per boundary — O(batches × K × n) total).
+	// With a store attached, the state snapshots to disk after every batch
+	// and a re-run resumes it: boundaries the snapshot already covers are
+	// hash-verified, skipped, and known non-stopping (the run that saved
+	// the snapshot passed them under the identical decision schedule, which
+	// the analysis fingerprint plus batch-alignment acceptance guarantee).
+	seed := xrand.New(e.datasetRoot(ds.Name)).Split("analysis/incremental").Uint64()
+	crit := compare.PAB{Gamma: gamma, Level: e.Confidence, Bootstrap: e.Bootstrap}
+	aligned := func(n int) bool {
+		return n > 0 && n <= e.MaxRuns && (n == e.MaxRuns || n%e.BatchSize == 0)
+	}
+	ana, err := newIncAnalysis(crit, seed, e.AnalysisParallelism, e.Store,
+		store.AnalysisKey(e.Seed, "dataset/"+ds.Name), e.analysisFingerprint(gamma, seed), aligned)
+	if err != nil {
+		return nil, err
 	}
 	recommended := stats.NoetherSampleSize(gamma, 0.05, 0.05)
 
@@ -455,15 +469,23 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 	for lo := 0; lo < e.MaxRuns && stop == ""; lo += e.BatchSize {
 		hi := min(lo+e.BatchSize, e.MaxRuns)
 		batch = stream.take(batch[:0], hi-lo)
-		outA = append(outA, make([]float64, hi-lo)...)
-		outB = append(outB, make([]float64, hi-lo)...)
+		outA = growFloats(outA, hi-lo)
+		outB = growFloats(outB, hi-lo)
 		if err := collectPairs(ctx, label, cache, runA, runB, batch, outA[lo:hi], outB[lo:hi], e.Parallelism); err != nil {
 			return nil, err
 		}
 		n = hi
+		if err := ana.feed(outA, outB, lo, hi); err != nil {
+			return nil, err
+		}
+		if err := ana.save(); err != nil {
+			return nil, err
+		}
 		lastEval = nil
-		if e.EarlyStop == EarlyStopAuto && n >= e.MinRuns {
-			c, err := proto.paired(outA[:n], outB[:n])
+		// ana.n() > n means a restored snapshot already covers later batches
+		// of this same schedule; skip the boundary (it was non-stopping).
+		if e.EarlyStop == EarlyStopAuto && n >= e.MinRuns && ana.n() == n {
+			c, err := ana.comparison()
 			if err != nil {
 				return nil, err
 			}
@@ -486,13 +508,13 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 	if stop == "" {
 		stop = StopMaxRuns
 	}
-	// proto.paired is deterministic in (scores, seed), so the evaluation
-	// that decided the stop doubles as the final result.
+	// The state is deterministic in (scores, seed), so the evaluation that
+	// decided the stop doubles as the final result.
 	final := Comparison{}
 	if lastEval != nil {
 		final = *lastEval
 	} else {
-		c, err := proto.paired(outA[:n], outB[:n])
+		c, err := ana.comparison()
 		if err != nil {
 			return nil, err
 		}

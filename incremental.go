@@ -1,0 +1,248 @@
+package varbench
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"varbench/internal/compare"
+	"varbench/internal/stats"
+	"varbench/store"
+)
+
+// This file is the root-package face of the incremental bootstrap engine
+// (internal/stats/incremental.go → internal/compare.AnalysisState): the
+// early-stop loop in experiment.go and the streaming Stream front end both
+// thread ONE resumable analysis state through all batch boundaries via the
+// incAnalysis helper below, instead of re-running the full K-resample
+// bootstrap at each — O(K × n) total resample-extension work instead of
+// O(batches × K × n). With a store attached the state snapshots to disk
+// after every batch, so a resumed run also resumes its analysis.
+
+// analysisSnapshot is the JSON payload persisted per analysis state (see
+// store.AnalysisKey for the key/fingerprint scheme). State is the binary
+// accumulator blob (bit-exact float round-trip; marshals as base64), Hash
+// the hex prefix hash of the N score pairs the state has consumed — no
+// float-typed JSON fields, so NaN-safety is moot by construction.
+type analysisSnapshot struct {
+	N     int    `json:"n"`
+	Hash  string `json:"hash"`
+	State []byte `json:"state"`
+}
+
+// pairHasher folds score pairs into an FNV-1a running hash, in arrival
+// order over the little-endian float bit patterns. Restored snapshots are
+// verified against the hash of the replayed prefix: a mismatch means the
+// persisted state was built from different scores (a poisoned or foreign
+// store), and the state is discarded and recomputed — never silently
+// served — matching the store's fingerprint philosophy.
+type pairHasher struct {
+	h uint64
+	n int
+}
+
+func newPairHasher() pairHasher { return pairHasher{h: 14695981039346656037} }
+
+func (p *pairHasher) add(a, b float64) {
+	const prime = 1099511628211
+	for _, bits := range [2]uint64{math.Float64bits(a), math.Float64bits(b)} {
+		for s := 0; s < 64; s += 8 {
+			p.h ^= bits >> s & 0xff
+			p.h *= prime
+		}
+	}
+	p.n++
+}
+
+// incAnalysis wraps a compare.AnalysisState with prefix verification and
+// store persistence. Feeding is idempotent over a restored prefix: pairs
+// the restored state already consumed are hash-verified and skipped, pairs
+// beyond it extend the state. All methods must be called from one
+// goroutine (extensions parallelize internally).
+type incAnalysis struct {
+	crit    compare.PAB
+	seed    uint64
+	workers int
+	state   *compare.AnalysisState
+
+	hasher       pairHasher
+	restoredN    int // pairs covered by the restored snapshot (0 = fresh)
+	restoredHash uint64
+
+	st      *store.Store // nil: no persistence
+	key, fp string
+
+	pairBuf []stats.Pair // reusable batch staging
+}
+
+// newIncAnalysis builds the analysis state, resuming from a persisted
+// snapshot when st holds a valid one under (key, fp) whose pair count
+// acceptN admits (nil acceptN admits any). Restore failures of any kind
+// fall back to a fresh state — recomputing is always correct.
+func newIncAnalysis(crit compare.PAB, seed uint64, workers int, st *store.Store, key, fp string, acceptN func(int) bool) (*incAnalysis, error) {
+	ia := &incAnalysis{
+		crit: crit, seed: seed, workers: workers,
+		hasher: newPairHasher(),
+		st:     st, key: key, fp: fp,
+	}
+	state, err := crit.NewAnalysis(seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	ia.state = state
+	if st == nil {
+		return ia, nil
+	}
+	var snap analysisSnapshot
+	ok, err := st.GetJSON(key, fp, &snap)
+	if err != nil || !ok || snap.N <= 0 {
+		return ia, nil
+	}
+	if acceptN != nil && !acceptN(snap.N) {
+		return ia, nil
+	}
+	restored, err := crit.RestoreAnalysis(snap.State, workers)
+	if err != nil || restored.N() != snap.N || restored.Seed() != seed {
+		return ia, nil
+	}
+	h, err := strconv.ParseUint(snap.Hash, 16, 64)
+	if err != nil {
+		return ia, nil
+	}
+	ia.state = restored
+	ia.restoredN = snap.N
+	ia.restoredHash = h
+	return ia, nil
+}
+
+// n returns how many pairs the state currently covers — ahead of the pairs
+// fed so far while a restored snapshot is being replayed.
+func (ia *incAnalysis) n() int { return ia.state.N() }
+
+// fed returns how many pairs have been fed (replayed or extended).
+func (ia *incAnalysis) fed() int { return ia.hasher.n }
+
+// feed consumes the newly collected pairs scoresA[lo:hi]/scoresB[lo:hi].
+// Calls must be contiguous (each lo equals the previous hi). Pairs the
+// restored state already covers are verified against the snapshot's prefix
+// hash and skipped; on hash mismatch the restored state is discarded and
+// rebuilt from the scores collected so far. Pairs beyond the restored
+// prefix extend the state — bit-identically to a from-scratch analysis.
+func (ia *incAnalysis) feed(scoresA, scoresB []float64, lo, hi int) error {
+	if ia.hasher.n != lo {
+		return fmt.Errorf("varbench: analysis fed pairs [%d:%d), want contiguous from %d", lo, hi, ia.hasher.n)
+	}
+	for i := lo; i < hi; i++ {
+		ia.hasher.add(scoresA[i], scoresB[i])
+		if ia.restoredN > 0 && ia.hasher.n == ia.restoredN && ia.hasher.h != ia.restoredHash {
+			// The replayed scores disagree with what the snapshot consumed:
+			// rebuild from scratch over everything observed so far.
+			fresh, err := ia.crit.NewAnalysis(ia.seed, ia.workers)
+			if err != nil {
+				return err
+			}
+			if err := fresh.Extend(ia.pairs(scoresA[:i+1], scoresB[:i+1])); err != nil {
+				return err
+			}
+			ia.state = fresh
+			ia.restoredN = 0
+		}
+	}
+	if start := ia.state.N(); start < hi {
+		if start < lo {
+			return fmt.Errorf("varbench: analysis state at %d pairs behind batch start %d", start, lo)
+		}
+		if err := ia.state.Extend(ia.pairs(scoresA[start:hi], scoresB[start:hi])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pairs zips equal-length score slices into the reusable staging buffer.
+func (ia *incAnalysis) pairs(a, b []float64) []stats.Pair {
+	if cap(ia.pairBuf) < len(a) {
+		ia.pairBuf = make([]stats.Pair, len(a))
+	}
+	buf := ia.pairBuf[:len(a)]
+	for i := range a {
+		buf[i] = stats.Pair{A: a[i], B: b[i]}
+	}
+	return buf
+}
+
+// save persists the current state snapshot (no-op without a store). Safe to
+// call at any batch boundary; the last write wins on restore.
+func (ia *incAnalysis) save() error {
+	if ia.st == nil {
+		return nil
+	}
+	if ia.state.N() > ia.hasher.n {
+		// Mid-replay of a restored snapshot: the state covers pairs whose
+		// hash we cannot attest yet, and the store already holds this very
+		// snapshot — rewriting it adds nothing.
+		return nil
+	}
+	blob, err := ia.state.Snapshot()
+	if err != nil {
+		return err
+	}
+	return ia.st.PutJSON(ia.key, ia.fp, analysisSnapshot{
+		N:     ia.state.N(),
+		Hash:  strconv.FormatUint(ia.hasher.h, 16),
+		State: blob,
+	})
+}
+
+// comparison evaluates the three-zone decision on the state and shapes it
+// as the public Comparison. Callers must only evaluate when the state
+// covers exactly the pairs they mean to report on (state.N() == fed).
+func (ia *incAnalysis) comparison() (Comparison, error) {
+	res, err := ia.state.Evaluate()
+	if err != nil {
+		return Comparison{}, err
+	}
+	meanA, meanB := ia.state.Means()
+	gamma := ia.crit.Gamma
+	return Comparison{
+		MeanA:        meanA,
+		MeanB:        meanB,
+		PAB:          res.PAB,
+		CILo:         res.CI.Lo,
+		CIHi:         res.CI.Hi,
+		Gamma:        gamma,
+		Conclusion:   conclusionOf(res.Decision),
+		RecommendedN: stats.NoetherSampleSize(gamma, 0.05, 0.05),
+		N:            ia.state.N(),
+	}, nil
+}
+
+// analysisFingerprint hashes everything that must match for a persisted
+// analysis snapshot to be resumable into this run: the collection spec
+// (whose scores feed the state), the kernel identity and resample count,
+// the analysis seed, and every knob that shapes the early-stop decision
+// sequence (γ, level, MinRuns, BatchSize, policy) — a restored state skips
+// re-evaluating boundaries it already passed, which is only sound when the
+// decision schedule is identical. MaxRuns is deliberately excluded: raising
+// a budget resumes the same analysis (the batch-alignment acceptance check
+// handles schedule compatibility).
+func (e *Experiment) analysisFingerprint(gamma float64, seed uint64) string {
+	return store.Fingerprint(
+		"varbench/analysis/v1",
+		e.specFingerprint(),
+		fmt.Sprintf("kernel=%s/k=%d/seed=%d/gamma=%v/level=%v/minruns=%d/batch=%d/earlystop=%d",
+			stats.AccPAB.ID(), e.Bootstrap, seed, gamma, e.Confidence, e.MinRuns, e.BatchSize, e.EarlyStop),
+	)
+}
+
+// growFloats extends s by n zero slots in place, amortizing capacity like
+// append — without the append(s, make([]float64, n)...) pattern's temporary
+// chunk allocation per batch.
+func growFloats(s []float64, n int) []float64 {
+	if free := cap(s) - len(s); free < n {
+		grown := make([]float64, len(s), max(2*cap(s), len(s)+n))
+		copy(grown, s)
+		s = grown
+	}
+	return s[: len(s)+n : cap(s)]
+}

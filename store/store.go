@@ -45,6 +45,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -188,6 +189,21 @@ func (s *Store) Len() int {
 	return len(s.idx)
 }
 
+// CountPrefix returns the number of distinct (key, fingerprint) cells whose
+// key starts with prefix — e.g. "trial/" for trial scores or "analysis/"
+// for persisted analysis snapshots, the two key families varbench writes.
+func (s *Store) CountPrefix(prefix string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.idx {
+		if strings.HasPrefix(k, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
 // Stats returns how many Get/GetJSON lookups hit and missed since Open.
 func (s *Store) Stats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
@@ -293,4 +309,26 @@ func Fingerprint(parts ...string) string {
 // address the same cells.
 func TrialKey(seed uint64, dataset string, index int, side string) string {
 	return fmt.Sprintf("trial/seed=%d/dataset=%s/run=%d/%s", seed, dataset, index, side)
+}
+
+// AnalysisKey names one resumable analysis identity: the root seed of the
+// bootstrap randomness plus a scope label (a dataset name for experiment
+// runs, a caller-chosen stream ID for streaming analyses). Analysis
+// snapshots ride the same append-only log as trials, as JSON payload
+// records (PutJSON) of the form
+//
+//	{"n": <pairs consumed>, "hash": "<prefix hash, hex>", "state": "<base64>"}
+//
+// where state is the binary accumulator snapshot documented in
+// internal/stats/incremental.go (running per-resample sums; float bit
+// patterns preserved exactly) wrapped in the analysis header of
+// internal/compare. The fingerprint covers the kernel ID/version, the
+// resample count K, the analysis seed and the spec fingerprint of the
+// scores feeding it, so a snapshot is invalidated — recomputed, never
+// silently reused — whenever K, the kernel, the seed derivation or the
+// collection spec changes. Later snapshots for the same key supersede
+// earlier ones via the last-record-wins index, and a torn final snapshot
+// line is repaired by the same Open machinery that repairs torn trials.
+func AnalysisKey(seed uint64, scope string) string {
+	return fmt.Sprintf("analysis/seed=%d/scope=%s", seed, scope)
 }

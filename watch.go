@@ -1,0 +1,114 @@
+package varbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// This file is the ingestion side of the streaming front end: varbench
+// watch tails a growing score file and feeds a Stream. The tailer and the
+// line parser are exported so other sidecars (log shippers, fleet agents)
+// can reuse the exact same framing and syntax rules — which also keeps a
+// resumed watch byte-identical: parsing is a pure function of the bytes.
+
+// A LineTailer incrementally splits an append-only byte stream into lines.
+// Feed it chunks of any size — reads racing a writer may split a line at
+// any byte — and it buffers the trailing partial line until its newline
+// arrives: the emitted line sequence is invariant under chunking
+// (fuzz-tested). A final "\r" is stripped, so CRLF files tail identically.
+type LineTailer struct {
+	buf []byte
+}
+
+// Feed appends one chunk and invokes emit for every newline-completed
+// line (without its terminator). The line slice is only valid during the
+// emit call; a non-nil emit error stops the scan and is returned.
+func (t *LineTailer) Feed(chunk []byte, emit func(line []byte) error) error {
+	t.buf = append(t.buf, chunk...)
+	start := 0
+	for {
+		i := bytes.IndexByte(t.buf[start:], '\n')
+		if i < 0 {
+			break
+		}
+		line := t.buf[start : start+i]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		start += i + 1
+		if err := emit(line); err != nil {
+			t.buf = append(t.buf[:0], t.buf[start:]...)
+			return err
+		}
+	}
+	// Keep only the partial tail; compact in place so the buffer never
+	// grows past the longest line.
+	t.buf = append(t.buf[:0], t.buf[start:]...)
+	return nil
+}
+
+// Remainder returns the buffered partial line awaiting its newline —
+// consult it at end of stream, where a file commonly lacks a final
+// terminator, and hand it to the same per-line processing.
+func (t *LineTailer) Remainder() []byte { return t.buf }
+
+// jsonScorePair decodes the JSONL form of one score pair. Pointer fields
+// distinguish "absent" from an explicit 0; floats are decode-only here, so
+// no NaN ever needs marshalling.
+type jsonScorePair struct {
+	A *float64 `json:"a"`
+	B *float64 `json:"b"`
+}
+
+// ParseScorePair parses one line of a paired score stream. Two syntaxes
+// are accepted, matching `varbench watch`:
+//
+//	CSV:   a,b        (further columns ignored; optional spaces)
+//	JSONL: {"a": 0.91, "b": 0.87}
+//
+// Blank lines and '#' comments are skipped (ok=false, err=nil), as is a
+// digit-free CSV header line such as "a,b" — the same rule `varbench
+// compare` applies to score files. A malformed or non-finite line returns
+// an error for the caller to count or surface; it never contributes pairs,
+// so replaying a file skips it deterministically.
+func ParseScorePair(line []byte) (a, b float64, ok bool, err error) {
+	s := bytes.TrimSpace(line)
+	if len(s) == 0 || s[0] == '#' {
+		return 0, 0, false, nil
+	}
+	if s[0] == '{' {
+		var p jsonScorePair
+		if err := json.Unmarshal(s, &p); err != nil {
+			return 0, 0, false, fmt.Errorf("bad JSONL score line %q: %w", s, err)
+		}
+		if p.A == nil || p.B == nil {
+			return 0, 0, false, fmt.Errorf(`JSONL score line %q needs both "a" and "b"`, s)
+		}
+		a, b = *p.A, *p.B
+	} else {
+		fields := bytes.Split(s, []byte(","))
+		if len(fields) < 2 {
+			if !bytes.ContainsAny(s, "0123456789") {
+				return 0, 0, false, nil // header or stray label
+			}
+			return 0, 0, false, fmt.Errorf("score line %q: want a,b", s)
+		}
+		a, err = strconv.ParseFloat(string(bytes.TrimSpace(fields[0])), 64)
+		if err == nil {
+			b, err = strconv.ParseFloat(string(bytes.TrimSpace(fields[1])), 64)
+		}
+		if err != nil {
+			if !bytes.ContainsAny(s, "0123456789") {
+				return 0, 0, false, nil // digit-free header line
+			}
+			return 0, 0, false, fmt.Errorf("score line %q: %w", s, err)
+		}
+	}
+	if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+		return 0, 0, false, fmt.Errorf("score line %q: non-finite score", s)
+	}
+	return a, b, true, nil
+}

@@ -1,0 +1,298 @@
+package varbench
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// feedChunked runs data through a LineTailer in chunks of the given size
+// and collects the emitted lines (plus the remainder as a final line when
+// asked), counting parse outcomes the way the watch command does.
+func tailLines(t *testing.T, data []byte, chunk int) [][]byte {
+	t.Helper()
+	var tailer LineTailer
+	var lines [][]byte
+	emit := func(line []byte) error {
+		lines = append(lines, bytes.Clone(line))
+		return nil
+	}
+	for lo := 0; lo < len(data); lo += chunk {
+		if err := tailer.Feed(data[lo:min(lo+chunk, len(data))], emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rem := tailer.Remainder(); len(rem) > 0 {
+		lines = append(lines, bytes.Clone(rem))
+	}
+	return lines
+}
+
+// TestLineTailerChunkingInvariant: the emitted line sequence must not
+// depend on how the byte stream was chunked — a tail read can split lines
+// at any byte.
+func TestLineTailerChunkingInvariant(t *testing.T) {
+	data := []byte("0.1,0.2\n# comment\n\n0.3,0.4\r\n{\"a\":0.5,\"b\":0.6}\ngarbage here\n0.7,")
+	ref := tailLines(t, data, len(data))
+	for _, chunk := range []int{1, 2, 3, 7, 16} {
+		got := tailLines(t, data, chunk)
+		if len(got) != len(ref) {
+			t.Fatalf("chunk=%d: %d lines, want %d", chunk, len(got), len(ref))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], ref[i]) {
+				t.Fatalf("chunk=%d line %d: %q != %q", chunk, i, got[i], ref[i])
+			}
+		}
+	}
+	if string(ref[len(ref)-1]) != "0.7," {
+		t.Fatalf("remainder not preserved: %q", ref[len(ref)-1])
+	}
+}
+
+// TestLineTailerEmitError: a failing emit stops the scan, and the already
+// consumed lines are not replayed by the next Feed.
+func TestLineTailerEmitError(t *testing.T) {
+	var tailer LineTailer
+	var seen []string
+	boom := fmt.Errorf("boom")
+	err := tailer.Feed([]byte("one\ntwo\nthree\n"), func(line []byte) error {
+		seen = append(seen, string(line))
+		if len(seen) == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("Feed returned %v, want the emit error", err)
+	}
+	if err := tailer.Feed(nil, func(line []byte) error {
+		seen = append(seen, string(line))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(seen); got != "[one two three]" {
+		t.Fatalf("lines after emit error: %v", seen)
+	}
+}
+
+// TestParseScorePair pins the two accepted syntaxes, the skip rules and
+// the error cases.
+func TestParseScorePair(t *testing.T) {
+	cases := []struct {
+		line string
+		a, b float64
+		ok   bool
+		err  bool
+	}{
+		{"0.91,0.87", 0.91, 0.87, true, false},
+		{" 1e-3 ,\t2 ", 1e-3, 2, true, false},
+		{"0.5,0.6,extra,columns", 0.5, 0.6, true, false},
+		{`{"a": 0.91, "b": 0.87}`, 0.91, 0.87, true, false},
+		{`{"b": 1, "a": 2}`, 2, 1, true, false},
+		{"", 0, 0, false, false},
+		{"   ", 0, 0, false, false},
+		{"# a comment", 0, 0, false, false},
+		{"scoreA,scoreB", 0, 0, false, false}, // digit-free header
+		{"alpha", 0, 0, false, false},         // digit-free stray label
+		{"0.5", 0, 0, false, true},            // one column with digits
+		{"0.5,bogus7", 0, 0, false, true},
+		{`{"a": 0.91}`, 0, 0, false, true},
+		{`{"a": bad`, 0, 0, false, true},
+		{"NaN,0.5", 0, 0, false, true},
+		{"+Inf,0.5", 0, 0, false, true},
+		{`{"a": 1, "b": null}`, 0, 0, false, true},
+	}
+	for _, c := range cases {
+		a, b, ok, err := ParseScorePair([]byte(c.line))
+		if ok != c.ok || (err != nil) != c.err {
+			t.Errorf("ParseScorePair(%q) = ok=%v err=%v, want ok=%v err=%v", c.line, ok, err, c.ok, c.err)
+			continue
+		}
+		if ok && (a != c.a || b != c.b) {
+			t.Errorf("ParseScorePair(%q) = (%v, %v), want (%v, %v)", c.line, a, b, c.a, c.b)
+		}
+	}
+}
+
+// FuzzWatchTailer: for arbitrary bytes and an arbitrary split point, the
+// tailer + parser pipeline must emit the same line sequence regardless of
+// chunking and must never panic on garbage. This is the partial-line /
+// garbage robustness target the watch command relies on (CI runs it as a
+// short fuzz-smoke; the seed corpus runs everywhere as a plain test).
+func FuzzWatchTailer(f *testing.F) {
+	f.Add([]byte("0.1,0.2\n0.3,0.4\n"), 3)
+	f.Add([]byte("{\"a\":1,\"b\":2}\r\n#x\n9,"), 1)
+	f.Add([]byte("garbage\nNaN,1\n1,1\n"), 5)
+	f.Add([]byte{0, 10, 255, 10, 44, 10}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, split int) {
+		parseAll := func(chunks [][]byte) (lines []string, pairs int, bad int) {
+			var tailer LineTailer
+			emit := func(line []byte) error {
+				lines = append(lines, string(line))
+				if _, _, ok, err := ParseScorePair(line); err != nil {
+					bad++
+				} else if ok {
+					pairs++
+				}
+				return nil
+			}
+			for _, c := range chunks {
+				if err := tailer.Feed(c, emit); err != nil {
+					t.Fatalf("emit never fails here: %v", err)
+				}
+			}
+			if rem := tailer.Remainder(); len(rem) > 0 {
+				if err := emit(bytes.Clone(rem)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return lines, pairs, bad
+		}
+		if split < 0 {
+			split = -split
+		}
+		split %= len(data) + 1
+		one, p1, b1 := parseAll([][]byte{data})
+		two, p2, b2 := parseAll([][]byte{data[:split], data[split:]})
+		if fmt.Sprint(one) != fmt.Sprint(two) || p1 != p2 || b1 != b2 {
+			t.Fatalf("chunking changed the parse: %v pairs=%d bad=%d vs %v pairs=%d bad=%d",
+				one, p1, b1, two, p2, b2)
+		}
+	})
+}
+
+// TestStreamMatchesAnalyze: a stream fed in dribs and drabs reaches the
+// same conclusion fields as itself fed in one call — and its point
+// estimate/means match Analyze (the CI differs by design: weighted vs
+// multinomial bootstrap).
+func TestStreamMatchesAnalyze(t *testing.T) {
+	a := []float64{0.91, 0.89, 0.93, 0.90, 0.92, 0.88, 0.94, 0.91, 0.90, 0.92}
+	b := []float64{0.85, 0.86, 0.84, 0.87, 0.83, 0.85, 0.86, 0.84, 0.85, 0.83}
+
+	oneShot, err := NewStream(WithSeed(3), WithGamma(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOne, err := oneShot.Extend(a, b)
+	if err != nil || resOne == nil {
+		t.Fatalf("one-shot extend: %v (res=%v)", err, resOne)
+	}
+
+	dribs, err := NewStream(WithSeed(3), WithGamma(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resDribs *Result
+	for i := range a {
+		if resDribs, err = dribs.Extend(a[i:i+1], b[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resDribs.Comparison != resOne.Comparison {
+		t.Fatalf("drib-fed stream differs:\n%+v\n%+v", resDribs.Comparison, resOne.Comparison)
+	}
+
+	ref, err := Analyze(a, b, WithSeed(3), WithGamma(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, rc := resOne.Comparison, ref.Comparison
+	if math.Float64bits(c.PAB) != math.Float64bits(rc.PAB) ||
+		math.Float64bits(c.MeanA) != math.Float64bits(rc.MeanA) ||
+		math.Float64bits(c.MeanB) != math.Float64bits(rc.MeanB) ||
+		c.N != rc.N {
+		t.Fatalf("stream point estimate drifts from Analyze:\n%+v\n%+v", c, rc)
+	}
+	if c.CILo > c.PAB || c.CIHi < c.PAB {
+		t.Fatalf("stream CI [%v, %v] does not bracket the point %v", c.CILo, c.CIHi, c.PAB)
+	}
+
+	// Below two pairs: no result, no error.
+	early, _ := NewStream(WithSeed(3))
+	if res, err := early.Extend(a[:1], b[:1]); err != nil || res != nil {
+		t.Fatalf("1-pair stream: res=%v err=%v, want nil/nil", res, err)
+	}
+	if _, err := early.Extend(a[:2], b[:1]); err == nil {
+		t.Fatal("unpaired extend accepted")
+	}
+}
+
+// TestStreamSubscribe: subscribers get the latest result after each
+// extend, latest-wins under slow consumption, and close on ctx/Close.
+func TestStreamSubscribe(t *testing.T) {
+	s, err := NewStream(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := s.Subscribe(t.Context())
+	a := []float64{0.9, 0.8, 0.95, 0.85, 0.9, 0.88}
+	b := []float64{0.1, 0.2, 0.15, 0.25, 0.1, 0.12}
+	for i := range a {
+		if _, err := s.Extend(a[i:i+1], b[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Latest-wins: exactly one pending result, the newest.
+	res := <-ch
+	if res == nil || res.Pairs != len(a) {
+		t.Fatalf("subscriber got %+v, want the %d-pair result", res, len(a))
+	}
+	select {
+	case stale := <-ch:
+		t.Fatalf("subscriber had a backlog: %+v", stale)
+	default:
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("subscriber channel still open after Close")
+	}
+	if _, err := s.Extend(a[:1], b[:1]); err == nil {
+		t.Fatal("extend after Close accepted")
+	}
+}
+
+// BenchmarkWatchIngest measures the watch ingestion hot path — tail,
+// parse, extend — per chunk of 8 score lines against a live stream with
+// K=1000 resamples. Wired into the CI bench regression gate.
+func BenchmarkWatchIngest(bm *testing.B) {
+	var data bytes.Buffer
+	const batch = 8
+	for i := 0; i < batch; i++ {
+		fmt.Fprintf(&data, "0.9%d,0.8%d\n", i, (i+3)%10)
+	}
+	chunk := data.Bytes()
+	s, err := NewStream(WithSeed(7))
+	if err != nil {
+		bm.Fatal(err)
+	}
+	var tailer LineTailer
+	a := make([]float64, 0, batch)
+	b := make([]float64, 0, batch)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		a, b = a[:0], b[:0]
+		err := tailer.Feed(chunk, func(line []byte) error {
+			av, bv, ok, err := ParseScorePair(line)
+			if err != nil {
+				return err
+			}
+			if ok {
+				a = append(a, av)
+				b = append(b, bv)
+			}
+			return nil
+		})
+		if err != nil {
+			bm.Fatal(err)
+		}
+		if _, err := s.Extend(a, b); err != nil {
+			bm.Fatal(err)
+		}
+	}
+}
