@@ -1,0 +1,200 @@
+package varbench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"varbench/store"
+)
+
+// TestStoreResumeBackends extends the jsonl resume acceptance test
+// (TestVarianceStudyStoreResume) to the other backends: a variance study
+// interrupted mid-collection and resumed against the same backend renders
+// a byte-identical report to an uninterrupted run, recomputing only the
+// missing cells. For seglog the interruption is a real process-style
+// boundary (Close drains the group commit, a fresh OpenSegLog replays the
+// segments); for mem — which cannot outlive a process — the resumed run
+// reuses the live store, pinning the same cache-correctness property
+// without the durability leg.
+func TestStoreResumeBackends(t *testing.T) {
+	type fixture struct {
+		name string
+		open func(t *testing.T, dir string) store.Backend
+		// boundary simulates the death of the interrupted process and
+		// returns the backend the resumed run uses.
+		boundary func(t *testing.T, dir string, b store.Backend) store.Backend
+	}
+	fixtures := []fixture{
+		{
+			name: "mem",
+			open: func(t *testing.T, dir string) store.Backend { return store.NewMem() },
+			boundary: func(t *testing.T, dir string, b store.Backend) store.Backend {
+				return b // nothing to reopen; resume against the live store
+			},
+		},
+		{
+			name: "seglog",
+			open: func(t *testing.T, dir string) store.Backend {
+				s, err := store.OpenSegLog(dir, store.WithFlushInterval(time.Millisecond))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			boundary: func(t *testing.T, dir string, b store.Backend) store.Backend {
+				if err := b.Close(); err != nil {
+					t.Fatal(err)
+				}
+				s, err := store.OpenSegLog(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+		},
+	}
+
+	study := func(p TrialFunc, st store.Backend) VarianceStudy {
+		return VarianceStudy{
+			Pipeline:     p,
+			Sources:      []Source{VarInit, VarOrder},
+			K:            3,
+			Realizations: 2,
+			Seed:         11,
+			Parallelism:  4,
+			Store:        st,
+			PipelineID:   "backend-resume-test",
+		}
+	}
+	render := func(t *testing.T, rep *VarianceReport) string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := rep.Render(&buf, VarianceTextRenderer{Curves: true}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	const total = 3 * 2 * 3 // (2 sources + joint) × realizations × K
+
+	// Golden: uninterrupted, storeless — shared across backends.
+	var goldenCalls atomic.Int64
+	rep, err := study(countingPipeline(&goldenCalls, 0.2, 0, nil), nil).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := render(t, rep)
+
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st := fx.open(t, dir)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var calls atomic.Int64
+			_, err := study(countingPipeline(&calls, 0.2, 5, cancel), st).Run(ctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+			}
+
+			st2 := fx.boundary(t, dir, st)
+			defer st2.Close()
+			recorded := st2.CountPrefix("trial/")
+			if recorded < 5 || recorded >= total {
+				t.Fatalf("interrupted run recorded %d trials, want in [5, %d)", recorded, total)
+			}
+			var resumeCalls atomic.Int64
+			rep2, err := study(countingPipeline(&resumeCalls, 0.2, 0, nil), st2).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := render(t, rep2); got != golden {
+				t.Errorf("resumed report differs from uninterrupted golden:\n%s\n--- golden ---\n%s", got, golden)
+			}
+			if got, want := resumeCalls.Load(), int64(total-recorded); got != want {
+				t.Errorf("resumed run made %d pipeline calls, want %d (total %d - %d cached)",
+					got, want, total, recorded)
+			}
+		})
+	}
+}
+
+// TestExperimentResumeBackendEquivalence: one interrupted Experiment.Run
+// resumed on each backend lands on the byte-identical report — the report
+// must not depend on which engine persisted the trials.
+func TestExperimentResumeBackendEquivalence(t *testing.T) {
+	const maxRuns = 12
+	exp := func(a, b TrialFunc, st store.Backend) Experiment {
+		return Experiment{
+			ATrial:      a,
+			BTrial:      b,
+			Seed:        5,
+			MaxRuns:     maxRuns,
+			BatchSize:   4,
+			EarlyStop:   EarlyStopOff,
+			Bootstrap:   50,
+			Parallelism: 4,
+			Store:       st,
+			PipelineID:  "backend-equivalence-test",
+		}
+	}
+	render := func(res *Result) string {
+		var buf bytes.Buffer
+		if err := res.Render(&buf, TextRenderer{Scores: true}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	var goldenCalls atomic.Int64
+	res, err := exp(
+		countingPipeline(&goldenCalls, 0.3, 0, nil),
+		countingPipeline(&goldenCalls, 0.1, 0, nil), nil).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := render(res)
+
+	backends := map[string]store.Backend{"mem": store.NewMem()}
+	if sl, err := store.OpenSegLog(t.TempDir(), store.WithFlushInterval(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	} else {
+		backends["seglog"] = sl
+	}
+	if js, err := store.Open(t.TempDir()); err != nil {
+		t.Fatal(err)
+	} else {
+		backends["jsonl"] = js
+	}
+	for name, st := range backends {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var calls atomic.Int64
+			a := countingPipeline(&calls, 0.3, 7, cancel)
+			b := countingPipeline(&calls, 0.1, 7, cancel)
+			if _, err := exp(a, b, st).Run(ctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+			}
+			var resumeCalls atomic.Int64
+			rA := countingPipeline(&resumeCalls, 0.3, 0, nil)
+			rB := countingPipeline(&resumeCalls, 0.1, 0, nil)
+			res2, err := exp(rA, rB, st).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := render(res2); got != golden {
+				t.Errorf("%s-resumed report differs from golden:\n%s\n--- golden ---\n%s",
+					name, got, golden)
+			}
+			if resumeCalls.Load() >= 2*maxRuns {
+				t.Errorf("resumed run recomputed everything (%d calls): nothing was served from %s",
+					resumeCalls.Load(), name)
+			}
+		})
+	}
+}

@@ -33,7 +33,7 @@ func runCompare(ctx context.Context, args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "bootstrap seed")
 	unpaired := fs.Bool("unpaired", false, "scores were not collected under shared seeds (single dataset only)")
 	format := fs.String("format", "text", "output format: text, json or csv")
-	storeDir := fs.String("store", "", "result-store directory: the analysis is cached by a fingerprint of the score files and protocol flags, and reused verbatim when nothing changed")
+	storeDir := fs.String("store", "", "result-store DSN (jsonl:DIR, mem:, seglog:DIR; a bare directory means jsonl): the analysis is cached by a fingerprint of the score files and protocol flags, and reused verbatim when nothing changed")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench compare -a scoresA.csv -b scoresB.csv [flags]")
 		fmt.Fprintln(fs.Output(), "score files: one score per line, or dataset,score rows for multi-dataset runs")
@@ -80,10 +80,10 @@ func runCompare(ctx context.Context, args []string, w io.Writer) error {
 	// result instead of redoing the bootstrap; any input change misses the
 	// fingerprint and recomputes.
 	const compareKey = "varbench-compare/analysis"
-	var st *store.Store
+	var st store.Backend
 	var resultFP string
 	if *storeDir != "" {
-		if st, err = store.Open(*storeDir); err != nil {
+		if st, err = store.OpenDSN(*storeDir); err != nil {
 			return err
 		}
 		defer st.Close()
@@ -99,7 +99,7 @@ func runCompare(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 		if ok {
-			fmt.Fprintf(os.Stderr, "varbench: store %s: analysis reused\n", st.Path())
+			fmt.Fprintf(os.Stderr, "varbench: store %s: analysis reused\n", *storeDir)
 			return cached.Render(w, ren)
 		}
 	}
@@ -142,6 +142,9 @@ func runCompare(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if st != nil {
 		if err := st.PutJSON(compareKey, resultFP, res); err != nil {
+			return err
+		}
+		if err := st.Flush(); err != nil {
 			return err
 		}
 	}

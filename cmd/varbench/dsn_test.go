@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVarianceCommandStoreDSN: the -store flag speaks DSNs — every backend
+// scheme produces the byte-identical report, a seglog DSN leaves segment
+// files a rerun resumes from, and a bare directory keeps meaning jsonl.
+func TestVarianceCommandStoreDSN(t *testing.T) {
+	var clean bytes.Buffer
+	if err := run(context.Background(), varianceArgs("-p", "2"), &clean); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("seglog resumes", func(t *testing.T) {
+		dir := t.TempDir()
+		dsn := "seglog:" + dir
+		var first, second bytes.Buffer
+		if err := run(context.Background(), varianceArgs("-p", "2", "-store", dsn), &first); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != clean.String() {
+			t.Errorf("seglog run differs from storeless run:\n%s\n---\n%s", first.String(), clean.String())
+		}
+		segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no segment files written (%v, %v)", segs, err)
+		}
+		if err := run(context.Background(), varianceArgs("-p", "2", "-store", dsn), &second); err != nil {
+			t.Fatal(err)
+		}
+		if second.String() != clean.String() {
+			t.Errorf("seglog cached rerun differs from storeless run")
+		}
+	})
+
+	t.Run("mem matches", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run(context.Background(), varianceArgs("-p", "2", "-store", "mem:"), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != clean.String() {
+			t.Errorf("mem run differs from storeless run")
+		}
+	})
+
+	t.Run("explicit jsonl scheme", func(t *testing.T) {
+		dir := t.TempDir()
+		var out bytes.Buffer
+		if err := run(context.Background(), varianceArgs("-p", "2", "-store", "jsonl:"+dir), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != clean.String() {
+			t.Errorf("jsonl: run differs from storeless run")
+		}
+		if m, _ := filepath.Glob(filepath.Join(dir, "trials.jsonl")); len(m) != 1 {
+			t.Errorf("jsonl: scheme did not write trials.jsonl in %s", dir)
+		}
+	})
+
+	t.Run("unknown scheme is actionable", func(t *testing.T) {
+		var out bytes.Buffer
+		err := run(context.Background(), varianceArgs("-p", "1", "-store", "bolt:"+t.TempDir()), &out)
+		if err == nil {
+			t.Fatal("unknown scheme must fail")
+		}
+		for _, want := range []string{"unknown scheme", "jsonl:DIR", "mem:", "seglog:DIR"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not mention %q", err, want)
+			}
+		}
+	})
+}
+
+// TestWatchCommandStoreDSN: watch accepts a seglog DSN and resumes its
+// analysis snapshot from it.
+func TestWatchCommandStoreDSN(t *testing.T) {
+	tmp := t.TempDir()
+	scores := filepath.Join(tmp, "scores.csv")
+	if err := os.WriteFile(scores, []byte("0.91,0.85\n0.93,0.86\n0.90,0.84\n0.92,0.83\n0.94,0.87\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dsn := "seglog:" + filepath.Join(tmp, "wstore")
+	args := []string{"watch", "-file", scores, "-store", dsn, "-id", "dsn-test", "-format", "json"}
+	var first, second bytes.Buffer
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), `"conclusion"`) {
+		t.Fatalf("missing conclusion in output:\n%s", first.String())
+	}
+	segs, err := filepath.Glob(filepath.Join(tmp, "wstore", "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("watch wrote no segment files (%v, %v)", segs, err)
+	}
+	if err := run(context.Background(), args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("snapshot-resumed watch differs:\n%s\n---\n%s", first.String(), second.String())
+	}
+}

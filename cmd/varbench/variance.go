@@ -35,7 +35,7 @@ func runVariance(ctx context.Context, args []string, w io.Writer) error {
 	par := fs.Int("p", 0, "worker-pool size (0 = GOMAXPROCS); results are identical at any setting")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	curves := fs.Bool("curves", false, "render SE-vs-k curves (text format only)")
-	storeDir := fs.String("store", "", "durable trial-store directory: completed measures are appended as they finish and reused on rerun, so an interrupted study resumes where it stopped")
+	storeDir := fs.String("store", "", "durable trial-store DSN (jsonl:DIR, mem:, seglog:DIR; a bare directory means jsonl): completed measures are appended as they finish and reused on rerun, so an interrupted study resumes where it stopped")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench variance [-task name] [-sources spec] [flags]")
 		fmt.Fprintln(fs.Output(), "decomposes a benchmark's variance across its sources of variation")
@@ -118,7 +118,7 @@ func runVariance(ctx context.Context, args []string, w io.Writer) error {
 		Parallelism:  *par,
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		st, err := store.OpenDSN(*storeDir)
 		if err != nil {
 			return err
 		}
@@ -134,7 +134,7 @@ func runVariance(ctx context.Context, args []string, w io.Writer) error {
 			// between cached and uncached runs.
 			hits, misses := st.Stats()
 			fmt.Fprintf(os.Stderr, "varbench: store %s: %d trial(s) reused, %d computed\n",
-				st.Path(), hits, misses)
+				*storeDir, hits, misses)
 		}()
 	}
 	rep, err := study.Run(ctx)

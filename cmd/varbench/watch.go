@@ -31,7 +31,7 @@ func runWatch(ctx context.Context, args []string, w io.Writer) error {
 	bootstrap := fs.Int("bootstrap", varbench.DefaultBootstrap, "bootstrap resamples")
 	seed := fs.Uint64("seed", 1, "bootstrap seed")
 	id := fs.String("id", "", "pipeline ID naming this stream in the store (required with -store)")
-	storeDir := fs.String("store", "", "result-store directory: the analysis snapshot is flushed there, and an interrupted watch resumes without recomputation")
+	storeDir := fs.String("store", "", "result-store DSN (jsonl:DIR, mem:, seglog:DIR; a bare directory means jsonl): the analysis snapshot is flushed there, and an interrupted watch resumes without recomputation")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench watch -file scores.csv [-follow] [flags]")
@@ -67,7 +67,7 @@ func runWatch(ctx context.Context, args []string, w io.Writer) error {
 		varbench.WithSeed(*seed),
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		st, err := store.OpenDSN(*storeDir)
 		if err != nil {
 			return err
 		}

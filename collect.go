@@ -25,11 +25,11 @@ import (
 // serving it from the store is bit-identical to recomputing it, and cache
 // hits cannot perturb parallelism-independence.
 
-// A trialCache adapts a store.Store to one dataset's collection: it holds
+// A trialCache adapts a store.Backend to one dataset's collection: it holds
 // the spec fingerprint and key parts shared by all of the dataset's trials.
 // A nil *trialCache is a valid always-miss cache.
 type trialCache struct {
-	store   *store.Store
+	store   store.Backend
 	fp      string
 	seed    uint64
 	dataset string

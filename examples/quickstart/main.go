@@ -36,7 +36,7 @@ import (
 )
 
 func main() {
-	storeDir := flag.String("store", "", "durable trial store directory (resumable runs; empty = recompute everything)")
+	storeDir := flag.String("store", "", "trial store DSN: jsonl:DIR, mem:, seglog:DIR or a bare directory (= jsonl); empty = recompute everything")
 	flag.Parse()
 	task := casestudy.Tiny(1)
 
@@ -62,7 +62,7 @@ func main() {
 		},
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		st, err := store.OpenDSN(*storeDir)
 		if err != nil {
 			log.Fatal(err)
 		}

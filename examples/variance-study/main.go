@@ -39,7 +39,7 @@ func main() {
 	realizations := flag.Int("r", 3, "independent realizations (paper: 20)")
 	workers := flag.Int("p", 0, "worker-pool size (0 = GOMAXPROCS)")
 	curves := flag.Bool("curves", false, "render SE-vs-k curves")
-	storeDir := flag.String("store", "", "durable trial store directory (resumable runs; empty = recompute everything)")
+	storeDir := flag.String("store", "", "trial store DSN: jsonl:DIR, mem:, seglog:DIR or a bare directory (= jsonl); empty = recompute everything")
 	flag.Parse()
 
 	task, err := casestudy.ByName(*taskName, 20210301)
@@ -79,7 +79,7 @@ func main() {
 		Parallelism:  *workers,
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		st, err := store.OpenDSN(*storeDir)
 		if err != nil {
 			log.Fatal(err)
 		}

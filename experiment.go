@@ -154,8 +154,10 @@ type Experiment struct {
 	// pipeline. Because trial seeds depend only on (Seed, dataset, index),
 	// cache hits are bit-identical to recomputation at any Parallelism, and
 	// an interrupted Run resumes exactly where it stopped when re-run with
-	// the same store. See WithStore and the store package.
-	Store *store.Store
+	// the same store. Any store.Backend implementation works; store.Open,
+	// store.NewMem, store.OpenSegLog and store.OpenDSN all produce one. See
+	// WithStore and the store package.
+	Store store.Backend
 	// PipelineID names the pipeline implementation inside the store's spec
 	// fingerprint. The store cannot hash code: two experiments sharing a
 	// store directory but running different pipelines must set distinct

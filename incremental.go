@@ -69,7 +69,7 @@ type incAnalysis struct {
 	restoredN    int // pairs covered by the restored snapshot (0 = fresh)
 	restoredHash uint64
 
-	st      *store.Store // nil: no persistence
+	st      store.Backend // nil: no persistence
 	key, fp string
 
 	pairBuf []stats.Pair // reusable batch staging
@@ -79,7 +79,7 @@ type incAnalysis struct {
 // snapshot when st holds a valid one under (key, fp) whose pair count
 // acceptN admits (nil acceptN admits any). Restore failures of any kind
 // fall back to a fresh state — recomputing is always correct.
-func newIncAnalysis(crit compare.PAB, seed uint64, workers int, st *store.Store, key, fp string, acceptN func(int) bool) (*incAnalysis, error) {
+func newIncAnalysis(crit compare.PAB, seed uint64, workers int, st store.Backend, key, fp string, acceptN func(int) bool) (*incAnalysis, error) {
 	ia := &incAnalysis{
 		crit: crit, seed: seed, workers: workers,
 		hasher: newPairHasher(),

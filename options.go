@@ -100,8 +100,10 @@ func WithSources(sources ...Source) Option {
 // appended as soon as they exist and trials already recorded under the same
 // spec fingerprint are served from the store instead of re-running the
 // pipeline, making interrupted runs resumable and identical cells shareable
-// across overlapping experiments. See Experiment.Store.
-func WithStore(s *store.Store) Option { return func(e *Experiment) { e.Store = s } }
+// across overlapping experiments. Any store.Backend works — the JSONL log
+// from store.Open, an in-memory store, a seglog, or a DSN-opened backend
+// from store.OpenDSN. See Experiment.Store.
+func WithStore(s store.Backend) Option { return func(e *Experiment) { e.Store = s } }
 
 // WithPipelineID names the pipeline implementation inside the trial store's
 // spec fingerprint, isolating different pipelines that share one store

@@ -1,0 +1,140 @@
+package store
+
+// The coalescing benchmarks behind BENCH_8.json: per-append-flush JSONL
+// Put (one write+fsync commit per record) versus group-committed seglog
+// Put (memcpy into the pending batch; the committer amortizes write+fsync
+// over the whole batch). The two are durability-equivalent — every record
+// has reached its commit point when the timer stops — which is exactly the
+// trade group commit makes: the same commits, amortized. CI gates on the
+// ratio: seglog must stay ≥5x faster per op. The plain per-append (write,
+// no fsync) JSONL number rides along uncontested for context.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = TrialKey(uint64(i%8), "bench-ds", i, "A")
+	}
+	return keys
+}
+
+// BenchmarkStorePutJSONLPerAppendFlush commits every record before moving
+// on: one Put (write syscall) plus one Flush (fsync) per op — the
+// per-append durability seglog's group committer provides in batches.
+func BenchmarkStorePutJSONLPerAppendFlush(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys := benchKeys(b.N)
+	fp := Fingerprint("bench/v1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(keys[i], fp, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePutJSONLPerAppend measures today's default durability
+// point: every Put is one write syscall before it returns, with no fsync.
+func BenchmarkStorePutJSONLPerAppend(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys := benchKeys(b.N)
+	fp := Fingerprint("bench/v1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(keys[i], fp, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePutSegLogCoalesced measures the group-committed append:
+// Put stages the frame in memory and the committer batches the I/O. The
+// final Flush keeps the comparison honest — every record is durable when
+// the timer stops, just like the JSONL side.
+func BenchmarkStorePutSegLogCoalesced(b *testing.B) {
+	s, err := OpenSegLog(b.TempDir(), WithFlushInterval(2*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys := benchKeys(b.N)
+	fp := Fingerprint("bench/v1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(keys[i], fp, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStorePutParallel runs both backends under a worker-pool write
+// pattern — the shape a Parallelism-N collection produces — so the
+// coalescing win is measured under lock contention too.
+func BenchmarkStorePutParallel(b *testing.B) {
+	for _, bk := range []struct {
+		name string
+		open func(b *testing.B) Backend
+	}{
+		{"jsonl", func(b *testing.B) Backend {
+			s, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+		{"seglog", func(b *testing.B) Backend {
+			s, err := OpenSegLog(b.TempDir(), WithFlushInterval(2*time.Millisecond))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+	} {
+		b.Run(bk.name, func(b *testing.B) {
+			s := bk.open(b)
+			defer s.Close()
+			fp := Fingerprint("bench/v1")
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				i := 0
+				for pb.Next() {
+					key := fmt.Sprintf("trial/seed=%d/dataset=bench-ds/run=%d/A", w, i)
+					if err := s.Put(key, fp, float64(i)); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

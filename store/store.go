@@ -1,7 +1,13 @@
-// Package store provides a durable, content-addressed trial store: an
-// append-only JSONL log that makes varbench collection resumable and lets
-// overlapping studies share identical (seed, trial) cells instead of
-// recomputing them.
+// Package store provides durable, content-addressed trial stores that make
+// varbench collection resumable and let overlapping studies share
+// identical (seed, trial) cells instead of recomputing them. Every engine
+// implements the Backend interface (see backend.go); three ship: the
+// append-only JSONL log below (the default), an in-memory store (Mem) and
+// a segmented binary log with group-commit coalescing (SegLog). OpenDSN
+// selects one by DSN ("jsonl:DIR", "mem:", "seglog:DIR"; a bare path means
+// jsonl). The rest of this comment documents the JSONL engine; the
+// cross-backend semantics — cell identity, last-record-wins, bit-exact
+// floats, the Flush durability barrier — live on Backend.
 //
 // Every record is addressed by a (key, fingerprint) pair. The key names one
 // deterministic trial identity — varbench builds it from the experiment or
@@ -211,7 +217,8 @@ func (s *Store) Stats() (hits, misses int64) {
 
 // Get returns the score recorded for (key, fingerprint), if any. A record
 // with a different fingerprint under the same key — a stale cache from an
-// older spec — is never returned.
+// older spec — is never returned. Get keeps answering from the in-memory
+// index after Close.
 func (s *Store) Get(key, fingerprint string) (float64, bool) {
 	s.mu.Lock()
 	e, ok := s.idx[key+"\x00"+fingerprint]
@@ -236,7 +243,8 @@ func (s *Store) Put(key, fingerprint string, score float64) error {
 
 // GetJSON decodes the JSON payload recorded for (key, fingerprint) into v.
 // It reports whether a payload was found; a found-but-undecodable payload
-// returns an error.
+// returns an error. Like Get, it keeps answering from the in-memory index
+// after Close.
 func (s *Store) GetJSON(key, fingerprint string, v any) (bool, error) {
 	s.mu.Lock()
 	e, ok := s.idx[key+"\x00"+fingerprint]
@@ -272,6 +280,9 @@ func (s *Store) append(rec record, e entry) error {
 	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: %s: %w", s.path, ErrClosed)
+	}
 	if _, err := s.f.Write(line); err != nil {
 		return fmt.Errorf("store: %s: %w", s.path, err)
 	}
@@ -279,7 +290,26 @@ func (s *Store) append(rec record, e entry) error {
 	return nil
 }
 
-// Close releases the log file. The store is unusable afterwards.
+// Flush is the durability barrier: every Put/PutJSON accepted before the
+// call had already reached the OS (each append is one write syscall), and
+// Flush additionally fsyncs the log so the records survive power loss. On
+// a closed store it fails with ErrClosed.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: %s: %w", s.path, ErrClosed)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Close releases the log file and the process lock. Idempotent. After
+// Close, Put/PutJSON/Flush fail with ErrClosed while Get/GetJSON keep
+// serving the in-memory index — the log is only consulted at Open, so
+// readers draining a pipeline never race a shutdown path's Close.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

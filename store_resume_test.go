@@ -42,7 +42,7 @@ func countingPipeline(calls *atomic.Int64, offset float64, cancelAt int64, cance
 func TestVarianceStudyStoreResume(t *testing.T) {
 	for _, par := range []int{1, 4} {
 		t.Run(fmt.Sprintf("parallelism-%d", par), func(t *testing.T) {
-			study := func(p TrialFunc, st *store.Store) VarianceStudy {
+			study := func(p TrialFunc, st store.Backend) VarianceStudy {
 				return VarianceStudy{
 					Pipeline:     p,
 					Sources:      []Source{VarInit, VarOrder},
@@ -138,7 +138,7 @@ func TestExperimentRunStoreResume(t *testing.T) {
 	for _, par := range []int{1, 4} {
 		t.Run(fmt.Sprintf("parallelism-%d", par), func(t *testing.T) {
 			const maxRuns = 12
-			exp := func(a, b TrialFunc, st *store.Store) Experiment {
+			exp := func(a, b TrialFunc, st store.Backend) Experiment {
 				return Experiment{
 					ATrial:      a,
 					BTrial:      b,

@@ -157,8 +157,19 @@ func (s *Stream) result() (*Result, error) {
 }
 
 // Flush persists the analysis snapshot to the stream's store (no-op
-// without one), making the pairs consumed so far resumable.
-func (s *Stream) Flush() error { return s.ana.save() }
+// without one) and then invokes the backend's own Flush as a durability
+// barrier, so when it returns the snapshot — and, on a coalescing backend
+// like seglog, every previously accepted write — has reached the durable
+// medium.
+func (s *Stream) Flush() error {
+	if err := s.ana.save(); err != nil {
+		return err
+	}
+	if s.cfg.Store == nil {
+		return nil
+	}
+	return s.cfg.Store.Flush()
+}
 
 // Subscribe returns a channel delivering the latest conclusion after each
 // Extend. Delivery is latest-wins: a slow consumer observes the newest

@@ -29,7 +29,7 @@ func comparisonsEqual(t *testing.T, got, want Comparison, what string) {
 // prefix skipped rather than recomputed.
 func TestStreamResumeByteIdentical(t *testing.T) {
 	a, b := streamScores()
-	opts := func(st *store.Store) []Option {
+	opts := func(st store.Backend) []Option {
 		return []Option{WithSeed(11), WithGamma(0.65), WithStore(st), WithPipelineID("resume-test")}
 	}
 

@@ -92,9 +92,9 @@ type VarianceStudy struct {
 	// row. Its joint row is shared only when the varied set matches a
 	// recorded one: for a single-source study the joint row coincides with
 	// the source's own row (fully cached), while a multi-source subset's
-	// joint row is a new combination and is collected fresh. See
-	// Experiment.Store.
-	Store *store.Store
+	// joint row is a new combination and is collected fresh. Any
+	// store.Backend implementation works; see Experiment.Store.
+	Store store.Backend
 	// PipelineID names the Pipeline implementation inside the store's spec
 	// fingerprint; see Experiment.PipelineID.
 	PipelineID string
