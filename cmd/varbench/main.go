@@ -73,6 +73,7 @@ func main() {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	var caught atomic.Value // os.Signal
+	//lint:allow goroline(signal.Notify relay parks on sigCh for the process lifetime by design; signal.Stop unregisters after the first delivery)
 	go func() {
 		if sig, ok := <-sigCh; ok {
 			caught.Store(sig)

@@ -1,7 +1,10 @@
 // Command varbenchlint is the multichecker for varbench's project-specific
 // static analyzers (internal/lint): nondeterm, jsonsafe, seedflow and
 // poolput — the determinism and NaN-safety contracts of the benchmark
-// engine, enforced mechanically instead of by prose.
+// engine — plus the flow-sensitive suite built on internal/lint/flow:
+// lockorder, goroline, errsentinel and flushbarrier — the concurrency and
+// durability contracts of the store layer, enforced mechanically instead
+// of by prose.
 //
 // Standalone over package patterns (exit 1 on findings):
 //
@@ -116,7 +119,8 @@ func selectAnalyzers(checks string) ([]*lint.Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: nondeterm, jsonsafe, seedflow, poolput)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have: nondeterm, jsonsafe, seedflow, poolput, "+
+				"lockorder, goroline, errsentinel, flushbarrier)", name)
 		}
 		out = append(out, a)
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -30,6 +32,58 @@ func TestSeededViolationFails(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "1 finding(s)") {
 		t.Errorf("stderr missing finding count:\n%s", stderr.String())
+	}
+}
+
+// seededFlowPackages maps each flow-sensitive analyzer to its deliberately
+// violating package under testdata.
+var seededFlowPackages = []struct{ analyzer, pkg string }{
+	{"lockorder", "./testdata/seeded_lockorder"},
+	{"goroline", "./testdata/seeded_goroline"},
+	{"errsentinel", "./testdata/seeded_errsentinel"},
+	{"flushbarrier", "./testdata/seeded_flushbarrier"},
+}
+
+// TestSeededFlowViolationsFail proves each flow-sensitive analyzer can fail
+// the standalone gate: one seeded violation per analyzer, each demanding
+// its finding and exit 1.
+func TestSeededFlowViolationsFail(t *testing.T) {
+	for _, tc := range seededFlowPackages {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run([]string{tc.pkg}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s",
+					code, stdout.String(), stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "["+tc.analyzer+"]") {
+				t.Errorf("stdout missing [%s] finding:\n%s", tc.analyzer, stdout.String())
+			}
+		})
+	}
+}
+
+// TestVetToolSeededViolationsFail proves the same failures through go
+// vet's separate-compilation protocol: the built binary, handed to
+// -vettool, must fail each seeded package.
+func TestVetToolSeededViolationsFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "varbenchlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	for _, tc := range seededFlowPackages {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			out, err := exec.Command("go", "vet", "-vettool="+bin, tc.pkg).CombinedOutput()
+			if err == nil {
+				t.Fatalf("go vet -vettool on %s succeeded, want failure\n%s", tc.pkg, out)
+			}
+			if !strings.Contains(string(out), "["+tc.analyzer+"]") {
+				t.Errorf("vet output missing [%s] finding:\n%s", tc.analyzer, out)
+			}
+		})
 	}
 }
 

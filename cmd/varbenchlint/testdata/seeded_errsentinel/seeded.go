@@ -1,0 +1,14 @@
+// Package seeded compares a module sentinel error by identity — the match
+// that silently breaks once any layer wraps the sentinel with %w. The
+// integration tests demand an errsentinel finding and exit 1.
+package seeded
+
+import "errors"
+
+// ErrGone is a package-level sentinel.
+var ErrGone = errors.New("gone")
+
+// IsGone uses == where errors.Is is required.
+func IsGone(err error) bool {
+	return err == ErrGone
+}

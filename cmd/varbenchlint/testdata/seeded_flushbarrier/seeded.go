@@ -1,0 +1,16 @@
+// Package seeded reads a buffered store back without a Flush barrier
+// between the write and the read. The integration tests demand a
+// flushbarrier finding and exit 1.
+package seeded
+
+type kv struct{ n int }
+
+func (*kv) Put(key, val string)   {}
+func (*kv) Get(key string) string { return "" }
+func (*kv) Flush() error          { return nil }
+
+// ReadBack writes then reads with no barrier in between.
+func ReadBack(k *kv) string {
+	k.Put("a", "1")
+	return k.Get("a")
+}

@@ -1,0 +1,13 @@
+// Package seeded leaks a goroutine on purpose: an unconditional receive
+// loop on a channel nothing ever closes, with no ctx.Done or WaitGroup
+// pairing. The integration tests demand a goroline finding and exit 1.
+package seeded
+
+// Leak starts a goroutine with no termination edge.
+func Leak(ch chan int) {
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}

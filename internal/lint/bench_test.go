@@ -1,0 +1,30 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintRepo measures one full lint pass over the module: load (go
+// list is memoized process-wide, so iterations after the first measure the
+// parse+typecheck+analyze cost the cache is meant to expose), then every
+// analyzer over every package. This is the varbenchlint hot path; B/op and
+// allocs/op are gated in CI against BENCH_9.json.
+func BenchmarkLintRepo(b *testing.B) {
+	// Warm the go list cache outside the timed region so iteration 0 does
+	// not pay the one-time export-data build.
+	if _, err := Load("../..", "./..."); err != nil {
+		b.Fatal(err)
+	}
+	analyzers := Analyzers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := Load("../..", "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			if diags := Run(pkg, analyzers); len(diags) != 0 {
+				b.Fatalf("lint pass found %d violations; the repo must stay clean", len(diags))
+			}
+		}
+	}
+}

@@ -17,6 +17,14 @@ import (
 // legitimate, so a reasonless one is rejected. Parsing fails closed — any
 // malformed directive is itself reported, and a well-formed directive that
 // suppresses nothing is reported as unused rather than silently ignored.
+//
+// A directive covers whole STATEMENTS, not just lines: one sitting on (or
+// directly above) a statement that spans several lines suppresses findings
+// anywhere inside that statement's span — fmt.Errorf's argument on its own
+// line, the body of a go func literal. The statement matched is the
+// outermost one starting on the directive's line or the next (or ending on
+// the directive's line, for trailing comments), so a directive inside a
+// block never silences its enclosing loop.
 
 // DirectiveAnalyzer is the pseudo-analyzer name under which malformed and
 // unused //lint:allow directives are reported. It is deliberately not in
@@ -90,14 +98,69 @@ func (d *directive) parse(body string) {
 	d.reason = reason
 }
 
-// applyDirectives drops findings covered by a well-formed directive on the
-// same or the preceding line, and appends findings for malformed directives
-// and for directives that suppressed nothing.
+// span is one covered source range.
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.pos <= p && p < s.end }
+
+// attachSpans gives each well-formed directive the spans of the statements
+// it covers: the outermost statement (or spec) starting on the directive's
+// line or the line below, or ending on the directive's line. Pre-order
+// traversal visits ancestors first, so once a statement matches, its
+// nested statements are skipped — a directive covers exactly one
+// statement tree per anchor line.
+func attachSpans(fset *token.FileSet, files []*ast.File, dirs []*directive) map[*directive][]span {
+	spans := make(map[*directive][]span)
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		var fileDirs []*directive
+		for _, d := range dirs {
+			if d.bad == "" && d.file == name {
+				fileDirs = append(fileDirs, d)
+			}
+		}
+		if len(fileDirs) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case ast.Stmt, ast.Spec:
+			default:
+				return true
+			}
+			start := fset.Position(n.Pos()).Line
+			end := fset.Position(n.End()).Line
+			for _, d := range fileDirs {
+				if start != d.line && start != d.line+1 && end != d.line {
+					continue
+				}
+				covered := false
+				for _, s := range spans[d] {
+					if s.contains(n.Pos()) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					spans[d] = append(spans[d], span{pos: n.Pos(), end: n.End()})
+				}
+			}
+			return true
+		})
+	}
+	return spans
+}
+
+// applyDirectives drops findings covered by a well-formed directive — on
+// the same or the preceding line, or anywhere within a statement the
+// directive anchors to — and appends findings for malformed directives and
+// for directives that suppressed nothing.
 func applyDirectives(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, raw []Diagnostic) []Diagnostic {
 	dirs := parseDirectives(fset, files)
 	if len(dirs) == 0 {
 		return raw
 	}
+	spans := attachSpans(fset, files, dirs)
 	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		ran[a.Name] = true
@@ -110,7 +173,14 @@ func applyDirectives(fset *token.FileSet, files []*ast.File, analyzers []*Analyz
 			if d.bad != "" || d.analyzer != diag.Analyzer || d.file != posn.Filename {
 				continue
 			}
-			if d.line == posn.Line || d.line == posn.Line-1 {
+			match := d.line == posn.Line || d.line == posn.Line-1
+			for _, s := range spans[d] {
+				if match {
+					break
+				}
+				match = s.contains(diag.Pos)
+			}
+			if match {
 				d.used = true
 				suppressed = true
 			}

@@ -152,6 +152,90 @@ func f(m map[string]int) int {
 	}
 }
 
+// checkSourceImports is checkSource for sources that import packages,
+// resolved through the go list export-data path.
+func checkSourceImports(t *testing.T, src string, imports ...string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "directive.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, importMap, err := Deps(".", imports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := Typecheck(fset, fixturePath+"directive", []*ast.File{f}, exports, importMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := []Zone{{Path: fixturePath + "directive"}}
+	return Run(pkg, []*Analyzer{NewNondeterm(zones)})
+}
+
+func TestDirectiveCoversMultiLineStatement(t *testing.T) {
+	// Regression: the violation sits on the SECOND line of a statement whose
+	// first line is directly below the directive. Line-pair matching alone
+	// would miss it; the statement-span rule must suppress it.
+	diags := checkSourceImports(t, `package directive
+
+import "time"
+
+func f() time.Time {
+	//lint:allow nondeterm(wall-clock metadata, recorded outside the result)
+	t :=
+		time.Now()
+	return t
+}
+`, "time")
+	if len(diags) != 0 {
+		t.Fatalf("got %d findings, want 0 (directive must cover the whole statement span): %v", len(diags), diags)
+	}
+}
+
+func TestDirectiveTrailingMultiLineStatement(t *testing.T) {
+	// The directive trails the statement's LAST line; the violation is on an
+	// earlier line of the same statement.
+	diags := checkSourceImports(t, `package directive
+
+import "time"
+
+func f() time.Time {
+	t := time.Now().
+		Add(0) //lint:allow nondeterm(wall-clock metadata, recorded outside the result)
+	return t
+}
+`, "time")
+	if len(diags) != 0 {
+		t.Fatalf("got %d findings, want 0 (trailing directive must cover the statement span): %v", len(diags), diags)
+	}
+}
+
+func TestDirectiveSpanDoesNotLeakToSiblings(t *testing.T) {
+	// Two separate statements: the directive above the first must not cover
+	// the second, and a directive inside a block must not silence the
+	// enclosing statement tree.
+	diags := checkSourceImports(t, `package directive
+
+import "time"
+
+func f() time.Time {
+	//lint:allow nondeterm(only the first read is metadata)
+	a :=
+		time.Now()
+	b := time.Now()
+	_ = a
+	return b
+}
+`, "time")
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1 (second statement stays reported): %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "nondeterm" {
+		t.Errorf("finding = %v, want the sibling nondeterm violation", diags[0])
+	}
+}
+
 func TestWellFormedDirectiveSuppresses(t *testing.T) {
 	diags := checkSource(t, `package directive
 

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The errsentinel analyzer: package-level sentinel errors (store.ErrClosed
+// and friends) must stay errors.Is-compatible. Once any layer wraps a
+// sentinel with fmt.Errorf("...: %w", ErrX), a direct ==/!= comparison
+// silently stops matching — the bug class where a retry loop keeps
+// retrying a store that already reported "closed".
+//
+// A sentinel is a package-level `var Err.../err...` of error type declared
+// in THIS module (path sharing the analyzed package's module root).
+// Standard-library sentinels are exempt on purpose: io.EOF is specified to
+// be returned unwrapped and `err == io.EOF` is the documented idiom the
+// store's log replay uses.
+//
+// Findings:
+//   - err == ErrX / err != ErrX (any operand order; comparing the sentinel
+//     variable itself against nil is fine and skipped);
+//   - switch err { case ErrX: } — the same comparison spelled as a switch;
+//   - fmt.Errorf passing a sentinel to any verb but %w — %v/%s flatten the
+//     sentinel into text and break errors.Is for every caller downstream.
+//     The verb parser handles flags, width/precision and *; formats using
+//     explicit argument indexes (%[1]d) are skipped wholesale rather than
+//     risk misalignment.
+
+// ErrSentinel is the suite's sentinel-error hygiene analyzer.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc: "require errors.Is for sentinel comparisons and %w for sentinel " +
+		"wrapping so wrapped errors keep matching",
+	Run: runErrSentinel,
+}
+
+func runErrSentinel(p *Pass) {
+	info := p.TypesInfo
+	errType := types.Universe.Lookup("error").Type()
+	moduleRoot := func(path string) string {
+		if i := strings.IndexByte(path, '/'); i >= 0 {
+			return path[:i]
+		}
+		return path
+	}
+	root := moduleRoot(p.Pkg.Path())
+
+	sentinel := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		var obj types.Object
+		if ok {
+			obj = info.Uses[id]
+		} else if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			obj = info.Uses[sel.Sel]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return nil
+		}
+		name := v.Name()
+		if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+			return nil
+		}
+		if !types.AssignableTo(v.Type(), errType) {
+			return nil
+		}
+		if moduleRoot(v.Pkg().Path()) != root {
+			return nil
+		}
+		return v
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+	}
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				v := sentinel(n.X)
+				other := n.Y
+				if v == nil {
+					v = sentinel(n.Y)
+					other = n.X
+				}
+				if v == nil || isNil(other) {
+					return true
+				}
+				p.Reportf(n.Pos(),
+					"sentinel error %s compared with %s; a wrapped error never "+
+						"matches — use errors.Is(%s, %s)",
+					v.Name(), n.Op, types.ExprString(other), v.Name())
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if t := info.TypeOf(n.Tag); t == nil || !types.AssignableTo(t, errType) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinel(e); v != nil {
+							p.Reportf(e.Pos(),
+								"switch case compares an error against sentinel %s "+
+									"by identity; a wrapped error never matches — use "+
+									"errors.Is in an if/else chain", v.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fn := callee(info, n)
+				if fn == nil {
+					return true
+				}
+				if k := keyOf(fn); k.pkg != "fmt" || k.recv != "" || k.name != "Errorf" {
+					return true
+				}
+				if len(n.Args) < 2 {
+					return true
+				}
+				lit, ok := ast.Unparen(n.Args[0]).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				verbs, ok := formatVerbs(format)
+				if !ok {
+					return true
+				}
+				for i, arg := range n.Args[1:] {
+					if i >= len(verbs) || verbs[i] == 'w' {
+						continue
+					}
+					if v := sentinel(arg); v != nil {
+						p.Reportf(arg.Pos(),
+							"sentinel error %s formatted with %%%c, which flattens it "+
+								"to text; wrap with %%w so errors.Is keeps matching",
+							v.Name(), verbs[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// formatVerbs returns the verb consuming each variadic argument of a
+// Printf-style format, with '*' entries for width/precision arguments. It
+// reports ok=false for formats with explicit argument indexes (%[1]d),
+// which it does not model.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil, false
+		}
+		if i >= len(format) {
+			break
+		}
+		verbs = append(verbs, format[i])
+		i++
+	}
+	return verbs, true
+}

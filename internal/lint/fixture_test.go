@@ -176,3 +176,19 @@ func TestSeedFlowFixture(t *testing.T) {
 func TestPoolPutFixture(t *testing.T) {
 	checkFixture(t, "poolput", []*Analyzer{PoolPut})
 }
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", []*Analyzer{LockOrder})
+}
+
+func TestGoroLineFixture(t *testing.T) {
+	checkFixture(t, "goroline", []*Analyzer{GoroLine})
+}
+
+func TestErrSentinelFixture(t *testing.T) {
+	checkFixture(t, "errsentinel", []*Analyzer{ErrSentinel})
+}
+
+func TestFlushBarrierFixture(t *testing.T) {
+	checkFixture(t, "flushbarrier", []*Analyzer{FlushBarrier})
+}

@@ -1,0 +1,121 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The conservative intra-package call graph: an edge F → G exists when F's
+// body contains a static call to G and G is declared in the package under
+// analysis. Dynamic calls — interface methods, function values, calls into
+// other packages — produce no edges; analyses that gate on reachability
+// (lockorder's hot-path check) therefore under-approximate reachability
+// and over-approximate nothing, and analyses that resolve a single callee
+// (goroline's `go s.run()`) simply fail to resolve and fall back to their
+// conservative default.
+
+// CallGraph maps a package's declared functions to their bodies and their
+// static in-package callees.
+type CallGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	calls map[*types.Func][]*types.Func
+}
+
+// Callee resolves the *types.Func a static call invokes, or nil for
+// conversions, built-ins and dynamic calls through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// NewCallGraph builds the call graph of one typechecked package.
+func NewCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	cg := &CallGraph{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			cg.decls[fn] = fd
+		}
+	}
+	for fn, fd := range cg.decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := Callee(info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, declared := cg.decls[callee]; declared {
+				seen[callee] = true
+				cg.calls[fn] = append(cg.calls[fn], callee)
+			}
+			return true
+		})
+		// Deterministic edge order for any traversal-derived output.
+		sort.Slice(cg.calls[fn], func(i, j int) bool {
+			return cg.decls[cg.calls[fn][i]].Pos() < cg.decls[cg.calls[fn][j]].Pos()
+		})
+	}
+	return cg
+}
+
+// Decl returns fn's declaration in the analyzed package, or nil.
+func (cg *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return cg.decls[fn] }
+
+// Funcs returns every declared function, in declaration order.
+func (cg *CallGraph) Funcs() []*types.Func {
+	out := make([]*types.Func, 0, len(cg.decls))
+	for fn := range cg.decls {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return cg.decls[out[i]].Pos() < cg.decls[out[j]].Pos() })
+	return out
+}
+
+// ReachableFrom returns the set of functions reachable (by static
+// in-package calls, including the roots themselves) from every declared
+// function satisfying root.
+func (cg *CallGraph) ReachableFrom(root func(*types.Func) bool) map[*types.Func]bool {
+	reach := make(map[*types.Func]bool)
+	var stack []*types.Func
+	for _, fn := range cg.Funcs() {
+		if root(fn) {
+			reach[fn] = true
+			stack = append(stack, fn)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, callee := range cg.calls[fn] {
+			if !reach[callee] {
+				reach[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,342 @@
+// Package flow is the flow-analysis layer under varbench's static
+// analyzers: a per-function control-flow graph over go/ast, a forward
+// dataflow engine (gen/kill over CFG blocks, worklist to fixpoint) and a
+// conservative intra-package call graph. Like internal/lint itself it is
+// stdlib-only — no golang.org/x/tools — and deliberately small: precise
+// enough to see lock ordering, goroutine lifetimes and durability barriers
+// THROUGH statements, conservative everywhere Go's dynamism (interface
+// calls, function values, goto into loops) would demand a real SSA.
+//
+// Granularity: a Block holds the atomic nodes that execute when control
+// reaches it — plain statements, and the control EXPRESSIONS of compound
+// statements (an if's condition, a range's operand, a switch's tag, a
+// select case's comm statement). The statements nested under a compound
+// statement live in successor blocks, never inside the compound node
+// itself, so an analyzer that walks every block node with ast.Inspect sees
+// each executed node exactly once.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of nodes with its control-flow
+// successors.
+type Block struct {
+	Index int        // position in Graph.Blocks; stable, deterministic
+	Nodes []ast.Node // statements and control expressions in execution order
+	Succs []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // synthetic; returns, panics and os.Exit edge here
+	Blocks []*Block
+
+	// Defers are the function's defer statements in source order. Deferred
+	// calls run on every path to Exit; analyses that model cleanup
+	// (Unlock, Flush, Close) consult this list at exit checks instead of
+	// finding the calls in blocks.
+	Defers []*ast.DeferStmt
+}
+
+// NewBlock appends a fresh empty block to the graph.
+func (g *Graph) NewBlock() *Block {
+	b := &Block{Index: len(g.Blocks)}
+	g.Blocks = append(g.Blocks, b)
+	return b
+}
+
+// builder threads the current block and the break/continue resolution
+// state through the statement walk.
+type builder struct {
+	g *Graph
+
+	// breakTargets / continueTargets mirror the enclosing breakable and
+	// continuable statements, innermost last. label is "" for plain
+	// for/switch/select and the label name for labeled ones.
+	breaks    []branchTarget
+	continues []branchTarget
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// Build constructs the CFG of one function body. It never fails: constructs
+// the builder does not model precisely (goto) degrade to conservative
+// edges rather than errors.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Entry = g.NewBlock()
+	g.Exit = g.NewBlock()
+	last := b.stmts(g.Entry, body.List)
+	if last != nil {
+		last.addSucc(g.Exit)
+	}
+	return g
+}
+
+func (b *Block) addSucc(s *Block) {
+	for _, have := range b.Succs {
+		if have == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+}
+
+// stmts lowers a statement list starting in cur and returns the block that
+// falls through past the last statement, or nil when every path diverged
+// (returned, branched or looped away).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/branch: give it its own island
+			// block so its nodes still exist for position queries, without
+			// an edge from the live graph.
+			cur = b.g.NewBlock()
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+// stmt lowers one statement; label is the pending label when s was wrapped
+// in a LabeledStmt. It returns the fall-through block or nil.
+func (b *builder) stmt(cur *Block, s ast.Stmt, label string) *Block {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return b.stmt(cur, s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		cur.addSucc(b.g.Exit)
+		return nil
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		return cur
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, s.Label); t != nil {
+				cur.addSucc(t)
+			} else {
+				cur.addSucc(b.g.Exit) // malformed/unknown label: stay safe
+			}
+			return nil
+		case token.CONTINUE:
+			if t := findTarget(b.continues, s.Label); t != nil {
+				cur.addSucc(t)
+			} else {
+				cur.addSucc(b.g.Exit)
+			}
+			return nil
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch lowering (each case body
+			// already gets an edge to the next on fallthrough); treat as
+			// fall-through end of the clause.
+			return cur
+		default: // GOTO: not modeled — conservatively an exit edge AND a fall-through
+			cur.Nodes = append(cur.Nodes, s)
+			cur.addSucc(b.g.Exit)
+			return cur
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init, "")
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenB := b.g.NewBlock()
+		cur.addSucc(thenB)
+		after := b.g.NewBlock()
+		if end := b.stmts(thenB, s.Body.List); end != nil {
+			end.addSucc(after)
+		}
+		if s.Else != nil {
+			elseB := b.g.NewBlock()
+			cur.addSucc(elseB)
+			if end := b.stmt(elseB, s.Else, ""); end != nil {
+				end.addSucc(after)
+			}
+		} else {
+			cur.addSucc(after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init, "")
+		}
+		head := b.g.NewBlock()
+		cur.addSucc(head)
+		after := b.g.NewBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.addSucc(after)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.g.NewBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			post.addSucc(head)
+		}
+		b.pushLoop(label, after, post)
+		bodyB := b.g.NewBlock()
+		head.addSucc(bodyB)
+		if end := b.stmts(bodyB, s.Body.List); end != nil {
+			end.addSucc(post)
+		}
+		b.popLoop()
+		return after
+
+	case *ast.RangeStmt:
+		head := b.g.NewBlock()
+		// The range operand is evaluated once, but the per-iteration
+		// receive (for channels) happens at the head: model X at the head
+		// so held-fact analyses see it on every iteration.
+		head.Nodes = append(head.Nodes, s.X)
+		cur.addSucc(head)
+		after := b.g.NewBlock()
+		head.addSucc(after)
+		b.pushLoop(label, after, head)
+		bodyB := b.g.NewBlock()
+		head.addSucc(bodyB)
+		if end := b.stmts(bodyB, s.Body.List); end != nil {
+			end.addSucc(head)
+		}
+		b.popLoop()
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init, "")
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init, "")
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(cur, label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		after := b.g.NewBlock()
+		b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+		reachable := false
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			caseB := b.g.NewBlock()
+			cur.addSucc(caseB)
+			start := caseB
+			if comm.Comm != nil {
+				start = b.stmt(caseB, comm.Comm, "")
+				if start == nil { // a comm that diverges: impossible, but stay safe
+					continue
+				}
+			}
+			if end := b.stmts(start, comm.Body); end != nil {
+				end.addSucc(after)
+				reachable = true
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 || !reachable {
+			// select{} blocks forever; all-diverging cases never fall
+			// through. after stays edgeless unless a break reached it.
+		}
+		return after
+
+	default:
+		// Plain statements: expressions, assignments, declarations, sends,
+		// inc/dec, go, empty. One node, straight through.
+		if _, ok := s.(*ast.EmptyStmt); !ok {
+			cur.Nodes = append(cur.Nodes, s)
+		}
+		return cur
+	}
+}
+
+// switchBody lowers the case clauses of a switch/type-switch, wiring
+// fallthrough edges case-to-case.
+func (b *builder) switchBody(cur *Block, label string, body *ast.BlockStmt, _ *Block) *Block {
+	after := b.g.NewBlock()
+	b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+	clauses := body.List
+	starts := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		starts[i] = b.g.NewBlock()
+		cur.addSucc(starts[i])
+		if cc, ok := clauses[i].(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		cur.addSucc(after) // no case matched
+	}
+	for i, clause := range clauses {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		start := starts[i]
+		for _, e := range cc.List {
+			start.Nodes = append(start.Nodes, e)
+		}
+		end := b.stmts(start, cc.Body)
+		if end != nil {
+			if fallsThrough(cc.Body) && i+1 < len(starts) {
+				end.addSucc(starts[i+1])
+			} else {
+				end.addSucc(after)
+			}
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	return after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough statement.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// findTarget resolves a break/continue label against the target stack,
+// innermost first. A nil label matches the innermost target.
+func findTarget(stack []branchTarget, label *ast.Ident) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == nil || stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+)
+
+// The CFG/dataflow tests run a one-fact gen/kill analysis over small
+// function bodies: gen() adds the fact, kill() removes it, and probe()
+// records whether the fact MAY hold at its program point. Expectations are
+// written per probe call in source order, so each test reads as a little
+// execution-path argument.
+
+func parseFunc(t *testing.T, body string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc gen()\nfunc kill()\nfunc probe()\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fset, fd
+		}
+	}
+	t.Fatal("no func f")
+	return nil, nil
+}
+
+// probeFacts runs the gen/kill analysis and returns, per probe() call in
+// source order, whether the fact may hold just before the call.
+func probeFacts(t *testing.T, body string) []bool {
+	t.Helper()
+	fset, fd := parseFunc(t, body)
+	g := Build(fd.Body)
+
+	type probeAt struct {
+		pos  token.Pos
+		held bool
+	}
+	var probes []probeAt
+	transfer := func(record bool) Transfer[string] {
+		return func(n ast.Node, facts Facts[string]) Facts[string] {
+			ast.Inspect(n, func(c ast.Node) bool {
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch id.Name {
+				case "gen":
+					facts["x"] = true
+				case "kill":
+					delete(facts, "x")
+				case "probe":
+					if record {
+						probes = append(probes, probeAt{pos: call.Pos(), held: facts["x"]})
+					}
+				}
+				return true
+			})
+			return facts
+		}
+	}
+	in := Forward(g, Facts[string]{}, transfer(false))
+	// Replay each reachable block from its fixpoint entry facts, recording
+	// probe observations.
+	for _, b := range g.Blocks {
+		entry, ok := in[b]
+		if !ok {
+			continue
+		}
+		facts := entry.Clone()
+		for _, n := range b.Nodes {
+			facts = transfer(true)(n, facts)
+		}
+	}
+	// Report in source order: block indices follow construction order, not
+	// source order (an if's join block is created before its else branch).
+	sort.Slice(probes, func(i, j int) bool { return probes[i].pos < probes[j].pos })
+	out := make([]bool, len(probes))
+	for i, p := range probes {
+		out[i] = p.held
+	}
+	_ = fset
+	return out
+}
+
+func wantProbes(t *testing.T, body string, want ...bool) {
+	t.Helper()
+	got := probeFacts(t, body)
+	if len(got) != len(want) {
+		t.Fatalf("probe count = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("probe %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	wantProbes(t, `
+probe()
+gen()
+probe()
+kill()
+probe()
+`, false, true, false)
+}
+
+func TestIfJoinIsMay(t *testing.T) {
+	// The fact is genned on one branch only: at the join it MAY hold.
+	wantProbes(t, `
+if cond {
+	gen()
+	probe()
+} else {
+	probe()
+}
+probe()
+`, true, false, true)
+}
+
+func TestIfWithoutElseFallThrough(t *testing.T) {
+	wantProbes(t, `
+if cond {
+	gen()
+}
+probe()
+`, true)
+}
+
+func TestKillOnOneBranchKeepsMayFact(t *testing.T) {
+	wantProbes(t, `
+gen()
+if cond {
+	kill()
+}
+probe()
+`, true)
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	// gen() late in the body must reach the loop head via the back edge, so
+	// the probe at the TOP of the body sees the fact on iterations ≥ 2 —
+	// i.e. MAY hold.
+	wantProbes(t, `
+for i := 0; i < n; i++ {
+	probe()
+	gen()
+}
+probe()
+`, true, true)
+}
+
+func TestForInitCondPost(t *testing.T) {
+	// A fact genned before the loop survives a loop that never kills it;
+	// the post-loop probe still sees it even when the body never runs (the
+	// cond→after edge carries entry facts).
+	wantProbes(t, `
+gen()
+for i := 0; i < n; i++ {
+}
+probe()
+`, true)
+}
+
+func TestInfiniteLoopNoFallThrough(t *testing.T) {
+	// for{} without break: code after it is unreachable, so its probe
+	// records nothing.
+	wantProbes(t, `
+gen()
+for {
+	probe()
+}
+probe()
+`, true)
+}
+
+func TestBreakReachesAfter(t *testing.T) {
+	wantProbes(t, `
+for {
+	gen()
+	if cond {
+		break
+	}
+	kill()
+}
+probe()
+`, true)
+}
+
+func TestLabeledBreak(t *testing.T) {
+	// The collect.go feed pattern: a labeled break out of a select inside a
+	// loop must land after the LOOP, not after the select.
+	wantProbes(t, `
+feed:
+for i := 0; i < n; i++ {
+	select {
+	case idx <- i:
+		gen()
+	case <-done:
+		break feed
+	}
+	kill()
+}
+probe()
+`, false)
+}
+
+func TestContinueSkipsTail(t *testing.T) {
+	wantProbes(t, `
+for i := 0; i < n; i++ {
+	gen()
+	if cond {
+		continue
+	}
+	kill()
+	probe()
+}
+`, false)
+}
+
+func TestRangeLoop(t *testing.T) {
+	wantProbes(t, `
+for range xs {
+	gen()
+}
+probe()
+`, true)
+}
+
+func TestSwitchCasesJoin(t *testing.T) {
+	wantProbes(t, `
+switch v {
+case 1:
+	gen()
+case 2:
+	probe()
+}
+probe()
+`, false, true)
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	wantProbes(t, `
+switch v {
+case 1:
+	gen()
+	fallthrough
+case 2:
+	probe()
+default:
+	probe()
+}
+`, true, false)
+}
+
+func TestSelectCommBranches(t *testing.T) {
+	wantProbes(t, `
+select {
+case <-a:
+	gen()
+	probe()
+case b <- 1:
+	probe()
+}
+probe()
+`, true, false, true)
+}
+
+func TestReturnDiverges(t *testing.T) {
+	wantProbes(t, `
+if cond {
+	gen()
+	return
+}
+probe()
+`, false)
+}
+
+func TestDefersRecorded(t *testing.T) {
+	_, fd := parseFunc(t, `
+defer kill()
+gen()
+defer gen()
+probe()
+`)
+	g := Build(fd.Body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2", len(g.Defers))
+	}
+	if g.Defers[0].Pos() > g.Defers[1].Pos() {
+		t.Error("defers out of source order")
+	}
+}
+
+func TestUnreachableBlockAbsentFromForward(t *testing.T) {
+	_, fd := parseFunc(t, `
+return
+probe()
+`)
+	g := Build(fd.Body)
+	in := Forward(g, Facts[string]{}, func(n ast.Node, f Facts[string]) Facts[string] { return f })
+	for b, facts := range in {
+		_ = facts
+		for _, n := range b.Nodes {
+			if call, ok := n.(*ast.ExprStmt); ok {
+				if id, ok := call.X.(*ast.CallExpr); ok {
+					if fun, ok := id.Fun.(*ast.Ident); ok && fun.Name == "probe" {
+						t.Error("unreachable probe block present in Forward result")
+					}
+				}
+			}
+		}
+	}
+}
+
+// typecheckPkg checks a self-contained (import-free) source as one package.
+func typecheckPkg(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	if _, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{file}, info
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	_, files, info := typecheckPkg(t, `
+package p
+
+type S struct{}
+
+func (s *S) Put()  { s.stage() }
+func (s *S) stage() { helper() }
+func helper()      {}
+func island()      { helper() }
+func (s *S) Get()  {}
+`)
+	cg := NewCallGraph(info, files)
+	if len(cg.Funcs()) != 5 {
+		t.Fatalf("Funcs = %d, want 5", len(cg.Funcs()))
+	}
+	reach := cg.ReachableFrom(func(fn *types.Func) bool { return fn.Name() == "Put" })
+	names := map[string]bool{}
+	for fn := range reach {
+		names[fn.Name()] = true
+	}
+	for _, want := range []string{"Put", "stage", "helper"} {
+		if !names[want] {
+			t.Errorf("%s not reachable from Put", want)
+		}
+	}
+	for _, not := range []string{"island", "Get"} {
+		if names[not] {
+			t.Errorf("%s wrongly reachable from Put", not)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"varbench/internal/lint/flow"
+)
+
+// The goroline analyzer: every `go` statement must carry a provable
+// termination edge, because a leaked collector or committer goroutine in a
+// long benchmark run is a quiet memory/FD leak that -race never sees.
+//
+// The check is evidence-versus-hazard, resolved per goroutine body (a
+// function literal, or a declared function found through the intra-package
+// call graph):
+//
+// Evidence — any one suffices:
+//   - a receive (including select comms and range) from a TERMINATION
+//     channel: ctx.Done(), a variable assigned from ctx.Done() (resolved
+//     transitively through assignments), or a channel some function in the
+//     package passes to close();
+//   - a sync.WaitGroup.Done whose WaitGroup has a reachable Wait anywhere
+//     in the package (matched by object for locals, by (type, field) for
+//     struct-held groups).
+//
+// Hazards — the body can run or block forever:
+//   - an unconditional `for { ... }` loop;
+//   - a range over a channel never closed in the package;
+//   - a blocking send/receive on a non-termination channel outside a
+//     select WITH a default case.
+//
+// A goroutine is reported iff it has a hazard and no evidence: bounded
+// bodies (compute-and-send under a WaitGroup, one-shot helpers) pass, and
+// evidence anywhere in the body — including inside deferred closures —
+// counts. A `go` through a function value the call graph cannot resolve is
+// itself a finding: an unreviewable goroutine is treated as a leak.
+
+// GoroLine is the suite's goroutine-lifetime analyzer.
+var GoroLine = &Analyzer{
+	Name: "goroline",
+	Doc: "require a provable termination edge (ctx.Done/closed channel/" +
+		"WaitGroup pairing) for every started goroutine",
+	Run: runGoroLine,
+}
+
+func runGoroLine(p *Pass) {
+	info := p.TypesInfo
+	cg := flow.NewCallGraph(info, p.Files)
+
+	// Package-wide pre-pass: channels that some function closes, WaitGroups
+	// that some function Waits on, and variables holding termination
+	// channels (assigned from ctx.Done() or a closed channel), to fixpoint.
+	termKeys := make(map[string]bool)
+	waitKeys := make(map[string]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 1 {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					if k := chanKey(info, call.Args[0]); k != "" {
+						termKeys[k] = true
+					}
+				}
+				return true
+			}
+			fn := callee(info, call)
+			if fn == nil {
+				return true
+			}
+			if k := keyOf(fn); k.pkg == "sync" && k.recv == "WaitGroup" && k.name == "Wait" {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if key := chanKey(info, sel.X); key != "" {
+						waitKeys[key] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	isTerm := func(e ast.Expr) bool { return isTermExpr(info, e, termKeys) }
+	for changed := true; changed; {
+		changed = false
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var lhs, rhs []ast.Expr
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					lhs, rhs = n.Lhs, n.Rhs
+				case *ast.ValueSpec:
+					for _, name := range n.Names {
+						lhs = append(lhs, name)
+					}
+					rhs = n.Values
+				default:
+					return true
+				}
+				if len(lhs) != len(rhs) {
+					return true
+				}
+				for i := range lhs {
+					if !isTerm(rhs[i]) {
+						continue
+					}
+					if k := chanKey(info, lhs[i]); k != "" && !termKeys[k] {
+						termKeys[k] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(p, cg, g, termKeys, waitKeys)
+			return true
+		})
+	}
+}
+
+// chanKey identifies a channel or WaitGroup expression across functions:
+// by object for plain variables, by (named type, field) for struct fields
+// — so close(s.quit) in Close matches <-s.quit in the committer even
+// though the receivers are different objects.
+func chanKey(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("obj:%d", obj.Pos())
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[e.X]; ok && tv.Type != nil {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return "field:" + named.Obj().Pkg().Path() + "." +
+					named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return chanKey(info, e.X)
+		}
+	}
+	return ""
+}
+
+// isTermExpr reports whether e evaluates to a termination channel: a
+// ctx.Done() call, or a channel in termKeys.
+func isTermExpr(info *types.Info, e ast.Expr, termKeys map[string]bool) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		fn := callee(info, call)
+		if fn == nil {
+			return false
+		}
+		k := keyOf(fn)
+		return k.pkg == "context" && k.recv == "Context" && k.name == "Done"
+	}
+	if k := chanKey(info, e); k != "" {
+		return termKeys[k]
+	}
+	return false
+}
+
+// checkGoStmt resolves one go statement's body and applies the
+// evidence/hazard verdict.
+func checkGoStmt(p *Pass, cg *flow.CallGraph, g *ast.GoStmt, termKeys, waitKeys map[string]bool) {
+	info := p.TypesInfo
+	var body *ast.BlockStmt
+	var params *ast.FieldList
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body, params = fun.Body, fun.Type.Params
+	default:
+		fn := flow.Callee(info, g.Call)
+		if fn != nil {
+			if decl := cg.Decl(fn); decl != nil {
+				body, params = decl.Body, decl.Type.Params
+			}
+		}
+	}
+	if body == nil {
+		p.Reportf(g.Pos(),
+			"goroutine launched through a value the analyzer cannot resolve; "+
+				"its termination cannot be checked — start a named in-package "+
+				"function instead")
+		return
+	}
+
+	// Arguments that are termination channels make the matching parameters
+	// termination channels inside this body.
+	local := termKeys
+	copied := false
+	if params != nil && len(g.Call.Args) == params.NumFields() {
+		i := 0
+		for _, f := range params.List {
+			for _, name := range f.Names {
+				if i < len(g.Call.Args) && isTermExpr(info, g.Call.Args[i], termKeys) {
+					if !copied {
+						copied = true
+						local = make(map[string]bool, len(termKeys)+1)
+						for k := range termKeys {
+							local[k] = true
+						}
+					}
+					if obj := info.Defs[name]; obj != nil {
+						local[fmt.Sprintf("obj:%d", obj.Pos())] = true
+					}
+				}
+				i++
+			}
+		}
+	}
+	isTerm := func(e ast.Expr) bool { return isTermExpr(info, e, local) }
+
+	// Evidence: full walk, nested literals included — a deferred closure
+	// calling wg.Done is real evidence.
+	evidence := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isTerm(n.X) {
+				evidence = true
+			}
+		case *ast.RangeStmt:
+			if isTerm(n.X) {
+				evidence = true
+			}
+		case *ast.CallExpr:
+			fn := callee(info, n)
+			if fn == nil {
+				return true
+			}
+			if k := keyOf(fn); k.pkg == "sync" && k.recv == "WaitGroup" && k.name == "Done" {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if waitKeys[chanKey(info, sel.X)] {
+						evidence = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if evidence {
+		return
+	}
+
+	// Hazards: shallow walk (a nested literal is its own goroutine's
+	// problem only if started), channel ops under a select WITH a default
+	// exempt.
+	exemptComms := make(map[ast.Stmt]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if comm := c.(*ast.CommClause).Comm; comm != nil {
+					exemptComms[comm] = true
+				}
+			}
+		}
+		return true
+	})
+	hazard := ""
+	inspectShallow(body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && exemptComms[s] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				hazard = "an unconditional for loop"
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					hazard = "a range over a channel never closed in this package"
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				hazard = "a blocking receive on a channel with no close/ctx.Done termination"
+			}
+		case *ast.SendStmt:
+			hazard = "a blocking send outside a select with a default case"
+		}
+		return true
+	})
+	if hazard != "" {
+		p.Reportf(g.Pos(),
+			"goroutine has no provable termination edge and contains %s; "+
+				"select on ctx.Done() or a package-closed channel, or pair "+
+				"WaitGroup.Done with a reachable Wait", hazard)
+	}
+}

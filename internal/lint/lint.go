@@ -18,6 +18,21 @@
 //     out from under the pooled pointer — the aliasing bug class of the
 //     pooled bootstrap engine.
 //
+// The flow-sensitive checks (built on internal/lint/flow — a per-function
+// CFG, a forward dataflow engine and a conservative intra-package call
+// graph):
+//
+//   - lockorder: a consistent package-wide mutex acquisition order, and no
+//     blocking call (fsync, sleep, WaitGroup.Wait, bare channel ops,
+//     default-less selects) while a mutex is held on a store hot path.
+//   - goroline: every `go` statement carries a provable termination edge —
+//     a ctx.Done()/closed-channel receive or a WaitGroup.Done paired with
+//     a reachable Wait.
+//   - errsentinel: module sentinel errors are only compared via errors.Is
+//     and only wrapped with %w.
+//   - flushbarrier: buffered store writes reach Flush before a read of the
+//     same receiver, a CLI exit path, or os.Exit.
+//
 // A finding that is intentional carries an explicit, reasoned escape hatch
 // on its line (or the line above):
 //
@@ -68,15 +83,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterm, JSONSafe, SeedFlow, PoolPut}
+	return []*Analyzer{Nondeterm, JSONSafe, SeedFlow, PoolPut, LockOrder, GoroLine, ErrSentinel, FlushBarrier}
 }
 
 // knownAnalyzers is the closed set of names an allow directive may cite.
 var knownAnalyzers = map[string]bool{
-	"nondeterm": true,
-	"jsonsafe":  true,
-	"seedflow":  true,
-	"poolput":   true,
+	"nondeterm":    true,
+	"jsonsafe":     true,
+	"seedflow":     true,
+	"poolput":      true,
+	"lockorder":    true,
+	"goroline":     true,
+	"errsentinel":  true,
+	"flushbarrier": true,
 }
 
 // Run executes analyzers over pkg and applies the //lint:allow directives:

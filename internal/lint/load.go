@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 )
 
 // The package loader behind the varbenchlint driver and the fixture tests.
@@ -154,8 +156,34 @@ func openExport(exports map[string]string, path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
-// goList runs `go list -export -deps -json` and decodes the package stream.
+// The go list cache: one varbenchlint invocation (or one test binary)
+// resolves the same (dir, patterns) pair repeatedly — the driver for the
+// target packages, every fixture for its import closure, each benchmark
+// iteration for the whole repo. `go list -export -deps` is by far the
+// most expensive step (it compiles export data for the dependency
+// closure), so successful listings are memoized for the process lifetime.
+// varbenchlint is one-shot and tests don't rewrite packages mid-process,
+// so staleness is not a concern; errors are never cached.
+var (
+	listCacheMu sync.Mutex
+	listCache   = make(map[string][]*listPackage)
+
+	// goListExecs counts actual go list executions; the cache tests assert
+	// repeated loads coalesce into one.
+	goListExecs int
+)
+
+// goList runs `go list -export -deps -json` — memoized per (dir, patterns)
+// — and decodes the package stream.
 func goList(dir string, patterns []string) ([]*listPackage, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	listCacheMu.Lock()
+	cached, ok := listCache[key]
+	listCacheMu.Unlock()
+	if ok {
+		return cached, nil
+	}
+
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
 		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,ImportMap,Error",
@@ -165,10 +193,26 @@ func goList(dir string, patterns []string) ([]*listPackage, error) {
 	cmd.Dir = dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
+	listCacheMu.Lock()
+	goListExecs++
+	listCacheMu.Unlock()
 	out, err := cmd.Output()
 	if err != nil {
 		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
 	}
+	pkgs, err := parseGoList(out)
+	if err != nil {
+		return nil, err
+	}
+	listCacheMu.Lock()
+	listCache[key] = pkgs
+	listCacheMu.Unlock()
+	return pkgs, nil
+}
+
+// parseGoList decodes a `go list -json` package stream, rejecting packages
+// that carry load errors.
+func parseGoList(out []byte) ([]*listPackage, error) {
 	var pkgs []*listPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {

@@ -1,0 +1,412 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"varbench/internal/lint/flow"
+)
+
+// The lockorder analyzer: flow-sensitive mutex discipline over the CFG.
+// It tracks which sync.Mutex/RWMutex instances MAY be held at each program
+// point (forward may-analysis, union joins) and enforces two contracts:
+//
+//  1. A package-wide acquisition order. Every point where lock B is
+//     acquired while lock A is held contributes an edge A → B to a global
+//     order graph over lock CLASSES — (named type, field) for struct
+//     mutexes, the variable name for package-level ones. A cycle in that
+//     graph is the classic AB/BA deadlock: each edge completing a cycle is
+//     reported at its acquisition site. Re-acquiring a mutex already held
+//     on some path is reported as a self-deadlock.
+//
+//  2. No blocking while holding a mutex on a store hot path. In functions
+//     reachable (via the conservative intra-package call graph) from a
+//     method named Put, PutJSON, Get, GetJSON or Flush, a blocking
+//     operation — (*os.File).Sync, time.Sleep, (*sync.WaitGroup).Wait, a
+//     channel send/receive outside a select with a default, a
+//     range-over-channel, a select without a default — executed while a
+//     mutex may be held stalls every writer and reader queued behind that
+//     lock. (*sync.Cond).Wait is exempt: it releases the mutex while
+//     waiting, which is exactly the idiom (seglog's watermark waits) this
+//     check exists to steer code toward. Non-blocking kicks — sends and
+//     receives under a select WITH a default — pass untouched.
+//
+// Both checks are intraprocedural over lock state: a lock held across a
+// call into another function is not followed into the callee. The hot-path
+// GATING is interprocedural (call-graph reachability); the lock tracking
+// is per-function, which keeps the analysis O(function) and the findings
+// local enough to act on.
+
+// LockOrder is the suite's mutex-ordering and blocking-under-lock analyzer.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "enforce a consistent global mutex acquisition order and forbid " +
+		"blocking calls while a mutex is held on a store hot path",
+	Run: runLockOrder,
+}
+
+// mutexOp classifies fn as a mutex operation: "lock", "rlock", "unlock",
+// "runlock" or "" for anything else (TryLock/TryRLock never block and are
+// deliberately ignored).
+func mutexOp(fn *types.Func) string {
+	k := keyOf(fn)
+	if k.pkg != "sync" || (k.recv != "Mutex" && k.recv != "RWMutex") {
+		return ""
+	}
+	switch k.name {
+	case "Lock":
+		return "lock"
+	case "RLock":
+		return "rlock"
+	case "Unlock":
+		return "unlock"
+	case "RUnlock":
+		return "runlock"
+	}
+	return ""
+}
+
+// exprPath renders a receiver chain (s.mu, c.store.mu, *p) as a stable
+// instance identity rooted at a types.Object. It refuses anything that is
+// not a plain ident/selector/star chain.
+func exprPath(info *types.Info, e ast.Expr) (types.Object, string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return nil, "", false
+		}
+		return obj, e.Name, true
+	case *ast.SelectorExpr:
+		root, path, ok := exprPath(info, e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, path + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return exprPath(info, e.X)
+	}
+	return nil, "", false
+}
+
+// lockClass names the package-wide equivalence class of a mutex receiver:
+// "Type.field" for struct mutexes, the variable name for package-level
+// vars, "local <name>" otherwise. The order graph runs over classes so
+// that s.mu in one method and other.mu in another method of the same type
+// mean the same lock role.
+func lockClass(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + sel.Sel.Name
+			}
+		}
+		return sel.Sel.Name
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Name()
+		}
+		return "local " + id.Name
+	}
+	return "local " + types.ExprString(e)
+}
+
+// hotPathRoots are the method names whose call trees form the store hot
+// path for the blocking-under-mutex check.
+var hotPathRoots = map[string]bool{
+	"Put": true, "PutJSON": true, "Get": true, "GetJSON": true, "Flush": true,
+}
+
+// lockEdge is one held→acquired observation in the order graph.
+type lockEdge struct{ from, to string }
+
+type lockEdgeSite struct {
+	pos      token.Pos
+	fromPath string // instance spelling at the site, for messages
+	toPath   string
+}
+
+func runLockOrder(p *Pass) {
+	cg := flow.NewCallGraph(p.TypesInfo, p.Files)
+	hotSet := cg.ReachableFrom(func(fn *types.Func) bool { return hotPathRoots[fn.Name()] })
+
+	edges := make(map[lockEdge]lockEdgeSite)
+	var edgeOrder []lockEdge // discovery order: deterministic reporting
+
+	for _, fb := range funcBodies(p.TypesInfo, p.Files) {
+		fn := fb.Fn
+		if fn == nil && fb.Decl != nil {
+			// A literal runs in its enclosing function's hot context.
+			fn, _ = p.TypesInfo.Defs[fb.Decl.Name].(*types.Func)
+		}
+		hot := fn != nil && hotSet[fn]
+		lo := &lockOrderFunc{
+			pass:    p,
+			hot:     hot,
+			classOf: make(map[string]string),
+			record: func(e lockEdge, s lockEdgeSite) {
+				if _, seen := edges[e]; !seen {
+					edges[e] = s
+					edgeOrder = append(edgeOrder, e)
+				}
+			},
+		}
+		lo.analyze(fb.Body)
+	}
+
+	// Cycle detection over lock classes: report every recorded edge that
+	// participates in a cycle, at its first acquisition site.
+	adj := make(map[string][]string)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	var cycleFindings []Diagnostic
+	for _, e := range edgeOrder {
+		site := edges[e]
+		if e.from == e.to {
+			p.Reportf(site.pos,
+				"two %s mutexes (%s, then %s) acquired together with no defined order; "+
+					"a goroutine taking them in the opposite order deadlocks",
+				e.from, site.fromPath, site.toPath)
+			continue
+		}
+		if path := lockPath(adj, e.to, e.from); path != nil {
+			cycle := append([]string{e.from}, path...)
+			cycleFindings = append(cycleFindings, Diagnostic{
+				Pos: site.pos,
+				Message: "lock order inversion: acquiring " + e.to + " while holding " +
+					e.from + " completes the cycle " + strings.Join(cycle, " → "),
+			})
+		}
+	}
+	for _, d := range cycleFindings {
+		p.Reportf(d.Pos, "%s", d.Message)
+	}
+}
+
+// lockPath finds a path from → to in the class graph, or nil.
+func lockPath(adj map[string][]string, from, to string) []string {
+	seen := map[string]bool{from: true}
+	var dfs func(cur string, path []string) []string
+	dfs = func(cur string, path []string) []string {
+		if cur == to {
+			return path
+		}
+		for _, next := range adj[cur] {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			if found := dfs(next, append(path, next)); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return dfs(from, []string{from})
+}
+
+// lockOrderFunc analyzes one function body.
+type lockOrderFunc struct {
+	pass    *Pass
+	hot     bool
+	classOf map[string]string // instance path → class
+	record  func(lockEdge, lockEdgeSite)
+
+	selHasDefault map[*ast.SelectStmt]bool
+	commOf        map[ast.Node]*ast.SelectStmt
+	rangeChan     map[ast.Node]bool
+	reportedSel   map[*ast.SelectStmt]bool
+}
+
+func (lo *lockOrderFunc) analyze(body *ast.BlockStmt) {
+	lo.selHasDefault = make(map[*ast.SelectStmt]bool)
+	lo.commOf = make(map[ast.Node]*ast.SelectStmt)
+	lo.rangeChan = make(map[ast.Node]bool)
+	lo.reportedSel = make(map[*ast.SelectStmt]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					lo.selHasDefault[n] = true
+				} else {
+					lo.commOf[cc.Comm] = n
+				}
+			}
+		case *ast.RangeStmt:
+			if t := lo.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					lo.rangeChan[n.X] = true
+				}
+			}
+		}
+		return true
+	})
+
+	g := flow.Build(body)
+	in := flow.Forward(g, flow.Facts[string]{}, func(n ast.Node, facts flow.Facts[string]) flow.Facts[string] {
+		return lo.transfer(n, facts, false)
+	})
+	// Replay each reachable block once from its fixpoint entry facts; checks
+	// fire during the replay, so each node is checked exactly once against
+	// its final may-held set.
+	for _, b := range g.Blocks {
+		entry, ok := in[b]
+		if !ok {
+			continue
+		}
+		facts := entry.Clone()
+		for _, n := range b.Nodes {
+			facts = lo.transfer(n, facts, true)
+		}
+	}
+}
+
+// transfer applies one CFG node's lock effects; with check set it also
+// reports order edges, self-deadlocks and blocking-under-lock.
+func (lo *lockOrderFunc) transfer(n ast.Node, facts flow.Facts[string], check bool) flow.Facts[string] {
+	info := lo.pass.TypesInfo
+
+	// A select comm node: if the select blocks (no default) while a lock is
+	// held, that is the finding; its channel operations are then subsumed.
+	sel := lo.commOf[n]
+	if sel != nil && check && lo.hot && len(facts) > 0 &&
+		!lo.selHasDefault[sel] && !lo.reportedSel[sel] {
+		lo.reportedSel[sel] = true
+		lo.pass.Reportf(sel.Pos(),
+			"select with no default case while holding %s on a store hot path; "+
+				"every Put/Get queues behind the lock until a channel is ready",
+			heldString(facts))
+	}
+	skipChanOps := sel != nil // select semantics handled above (or non-blocking via default)
+
+	if check && lo.hot && lo.rangeChan[n] && len(facts) > 0 {
+		lo.pass.Reportf(n.Pos(),
+			"range over a channel while holding %s on a store hot path; each "+
+				"iteration blocks until a value arrives", heldString(facts))
+	}
+
+	inspectShallow(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			fn := callee(info, c)
+			if fn == nil {
+				return true
+			}
+			if op := mutexOp(fn); op != "" {
+				lo.applyMutexOp(c, op, facts, check)
+				return true
+			}
+			if check && lo.hot && len(facts) > 0 {
+				if desc := blockingCall(fn); desc != "" {
+					lo.pass.Reportf(c.Pos(),
+						"%s while holding %s on a store hot path; release the mutex "+
+							"before waiting", desc, heldString(facts))
+				}
+			}
+		case *ast.SendStmt:
+			if check && lo.hot && !skipChanOps && len(facts) > 0 {
+				lo.pass.Reportf(c.Pos(),
+					"channel send while holding %s on a store hot path; an "+
+						"unready receiver stalls every caller queued on the lock",
+					heldString(facts))
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW && check && lo.hot && !skipChanOps && len(facts) > 0 {
+				lo.pass.Reportf(c.Pos(),
+					"channel receive while holding %s on a store hot path; an "+
+						"unready sender stalls every caller queued on the lock",
+					heldString(facts))
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+// applyMutexOp updates facts for one Lock/RLock/Unlock/RUnlock call and,
+// when checking, records order edges and self-deadlocks.
+func (lo *lockOrderFunc) applyMutexOp(call *ast.CallExpr, op string, facts flow.Facts[string], check bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := sel.X
+	_, path, ok := exprPath(lo.pass.TypesInfo, recv)
+	if !ok {
+		return
+	}
+	switch op {
+	case "unlock", "runlock":
+		delete(facts, path)
+		return
+	}
+	class := lockClass(lo.pass.TypesInfo, recv)
+	lo.classOf[path] = class
+	if check {
+		if facts[path] && op == "lock" {
+			lo.pass.Reportf(call.Pos(),
+				"mutex %s locked while already held on this path: self-deadlock", path)
+		}
+		held := make([]string, 0, len(facts))
+		for h := range facts {
+			if h != path {
+				held = append(held, h)
+			}
+		}
+		sort.Strings(held)
+		for _, h := range held {
+			lo.record(
+				lockEdge{from: lo.classOf[h], to: class},
+				lockEdgeSite{pos: call.Pos(), fromPath: h, toPath: path},
+			)
+		}
+	}
+	facts[path] = true
+}
+
+// blockingCall names fn if it is a call that can block indefinitely while
+// a mutex is held, or "". (*sync.Cond).Wait is exempt by design: it
+// releases the mutex while waiting.
+func blockingCall(fn *types.Func) string {
+	switch k := keyOf(fn); {
+	case k.pkg == "os" && k.recv == "File" && k.name == "Sync":
+		return "fsync ((*os.File).Sync)"
+	case k.pkg == "time" && k.recv == "" && k.name == "Sleep":
+		return "time.Sleep"
+	case k.pkg == "sync" && k.recv == "WaitGroup" && k.name == "Wait":
+		return "sync.WaitGroup.Wait"
+	}
+	return ""
+}
+
+// heldString renders a held-lock set for messages, sorted for determinism.
+func heldString(facts flow.Facts[string]) string {
+	held := make([]string, 0, len(facts))
+	for h := range facts {
+		held = append(held, h)
+	}
+	sort.Strings(held)
+	return strings.Join(held, ", ")
+}

@@ -1,0 +1,59 @@
+// Package errsentinel exercises the errsentinel analyzer: module sentinel
+// errors are compared via errors.Is and wrapped with %w, never matched by
+// identity or flattened into text. Standard-library sentinels (io.EOF) are
+// exempt — the stdlib documents identity comparison for them.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrClosed = errors.New("store is closed")
+var errStale = errors.New("stale snapshot")
+
+func compare(err error) bool {
+	if err == ErrClosed { // want `\[errsentinel\] sentinel error ErrClosed compared with ==; a wrapped error never matches`
+		return true
+	}
+	if err != errStale { // want `\[errsentinel\] sentinel error errStale compared with !=`
+		return false
+	}
+	return errors.Is(err, ErrClosed)
+}
+
+func stdlib(err error) bool {
+	return err == io.EOF // the documented idiom for unwrapped stdlib sentinels
+}
+
+func nilCheck() bool {
+	return ErrClosed == nil // nil comparison is not an identity match bug
+}
+
+func tag(err error) string {
+	switch err {
+	case ErrClosed: // want `\[errsentinel\] switch case compares an error against sentinel ErrClosed by identity`
+		return "closed"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func wrapOK(key string) error {
+	return fmt.Errorf("get %q: %w", key, ErrClosed)
+}
+
+func wrapBad(key string) error {
+	return fmt.Errorf("get %q: %v", key, ErrClosed) // want `\[errsentinel\] sentinel error ErrClosed formatted with %v`
+}
+
+func wrapAligned(n int) error {
+	// Width, precision and * must not shift the verb/argument alignment.
+	return fmt.Errorf("after %5.1f%% (%*d tries): %w", 99.9, 8, n, ErrClosed)
+}
+
+func legacy(err error) bool {
+	return err == ErrClosed //lint:allow errsentinel(replay loop compares load's unwrapped return directly)
+}

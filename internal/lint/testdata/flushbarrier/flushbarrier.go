@@ -1,0 +1,98 @@
+// The flushbarrier fixture is package main on purpose: the CLI-exit
+// checks (return with unflushed writes) only fire there, while the
+// read-after-write and os.Exit checks fire everywhere.
+package main
+
+import "os"
+
+// KV is store-like: its method set has both Put and Flush.
+type KV struct{ n int }
+
+func (k *KV) Put(key, val string)       {}
+func (k *KV) PutJSON(key string, v any) {}
+func (k *KV) Get(key string) string     { return "" }
+func (k *KV) GetJSON(key string) error  { return nil }
+func (k *KV) Flush() error              { return nil }
+func (k *KV) Close() error              { return nil }
+
+// plain has Flush but no Put: not store-like, never tracked.
+type plain struct{}
+
+func (plain) Flush() {}
+
+func readBack(kv *KV) {
+	kv.Put("a", "1")
+	_ = kv.Get("a") // want `\[flushbarrier\] Get read from kv while a Put on this path is unflushed`
+	kv.Flush()
+}
+
+func barrier(kv *KV) {
+	kv.Put("a", "1")
+	kv.Flush()
+	_ = kv.Get("a")
+}
+
+func condDirty(kv *KV, retry bool) {
+	if retry {
+		kv.PutJSON("a", 1)
+	}
+	_ = kv.Get("a") // want `\[flushbarrier\] Get read from kv while a Put on this path is unflushed`
+	kv.Flush()
+}
+
+func exitDirty(kv *KV) {
+	kv.Put("a", "1")
+	return // want `\[flushbarrier\] CLI exit path returns with unflushed writes to kv`
+}
+
+func exitClean(kv *KV) {
+	kv.Put("a", "1")
+	kv.Flush()
+	return
+}
+
+func deferredBarrier(kv *KV) {
+	defer kv.Close()
+	kv.Put("a", "1")
+	return
+}
+
+func mayFail() error { return nil }
+
+func errorBailout(kv *KV) error {
+	kv.Put("a", "1")
+	if err := mayFail(); err != nil {
+		return err // failure paths owe no durability
+	}
+	return kv.Flush()
+}
+
+func hardExit(kv *KV) {
+	defer kv.Flush() // defers do not run past os.Exit
+	kv.Put("a", "1")
+	os.Exit(1) // want `\[flushbarrier\] os\.Exit with unflushed writes to kv`
+}
+
+func flushOnly(w plain) {
+	w.Flush()
+}
+
+func snapshot(kv *KV) {
+	kv.Put("a", "1")
+	_ = kv.Get("a") //lint:allow flushbarrier(read-your-writes cache probe; callers own the durability barrier)
+	kv.Flush()
+}
+
+func main() {
+	kv := &KV{}
+	readBack(kv)
+	barrier(kv)
+	condDirty(kv, true)
+	exitDirty(kv)
+	exitClean(kv)
+	deferredBarrier(kv)
+	_ = errorBailout(kv)
+	flushOnly(plain{})
+	snapshot(kv)
+	hardExit(kv)
+}

@@ -1,0 +1,113 @@
+// Package goroline exercises the goroline analyzer: every `go` statement
+// must show a termination edge — a ctx.Done()/closed-channel receive or a
+// WaitGroup.Done with a reachable Wait — or stay trivially bounded.
+package goroline
+
+import (
+	"context"
+	"sync"
+)
+
+type Pump struct {
+	quit chan struct{}
+	data chan int
+}
+
+// Start launches the committer-style loop; close(p.quit) in Close is the
+// package-wide termination evidence, matched by (type, field).
+func (p *Pump) Start() {
+	go p.loop()
+}
+
+func (p *Pump) loop() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case v := <-p.data:
+			_ = v
+		}
+	}
+}
+
+func (p *Pump) Close() { close(p.quit) }
+
+// watch threads ctx.Done() through a variable: still evidence.
+func watch(ctx context.Context, ch chan int) {
+	done := ctx.Done()
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// workers pair WaitGroup.Done with a reachable Wait; the unclosed jobs
+// range would otherwise be a hazard.
+func workers(jobs chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				_ = j
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// drain ranges over a channel the package closes: the range itself ends.
+func drain(res chan int) {
+	go func() {
+		for v := range res {
+			_ = v
+		}
+	}()
+	close(res)
+}
+
+// bounded has no hazard at all: it runs to completion on its own.
+func bounded(out *int) {
+	go func() {
+		*out = 42
+	}()
+}
+
+// leak spins forever with no termination edge.
+func leak(ch chan int) {
+	go func() { // want `\[goroline\] goroutine has no provable termination edge and contains an unconditional for loop`
+		for {
+			v := <-ch
+			_ = v
+		}
+	}()
+}
+
+// block parks forever on a channel nothing closes.
+func block(ch chan int) {
+	go func() { // want `\[goroline\] goroutine has no provable termination edge and contains a blocking receive`
+		v := <-ch
+		_ = v
+	}()
+}
+
+// launch cannot be resolved to a body: unreviewable, so reported.
+func launch(f func()) {
+	go f() // want `\[goroline\] goroutine launched through a value the analyzer cannot resolve`
+}
+
+// relay is a deliberate one-shot leak, with the reasoned escape hatch.
+func relay(sig chan int) {
+	//lint:allow goroline(one-shot signal relay; exits with the process by design)
+	go func() {
+		v := <-sig
+		_ = v
+	}()
+}

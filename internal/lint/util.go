@@ -69,6 +69,58 @@ func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
 	return nil
 }
 
+// inspectShallow walks root like ast.Inspect but does not descend into
+// function literals: a literal's body executes when the closure is CALLED,
+// not where it is written, so flow-sensitive transfer functions must not
+// attribute its effects to the enclosing program point. Each literal body
+// is analyzed as its own function (see funcBodies).
+func inspectShallow(root ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// A funcBody is one analyzable function: a declaration or a function
+// literal. For literals, Decl is the innermost enclosing declaration (nil
+// for literals in package-level initializers) and Fn is nil.
+type funcBody struct {
+	Body *ast.BlockStmt
+	Fn   *types.Func   // declared functions only
+	Decl *ast.FuncDecl // enclosing declaration, nil at package level
+	Name string        // display name: "Put", "Put.func", ...
+}
+
+// funcBodies returns every function body in files — declarations first,
+// then literals in source order — each exactly once.
+func funcBodies(info *types.Info, files []*ast.File) []funcBody {
+	var out []funcBody
+	for _, file := range files {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+				if n.Body == nil {
+					return false
+				}
+				fn, _ := info.Defs[n.Name].(*types.Func)
+				out = append(out, funcBody{Body: n.Body, Fn: fn, Decl: n, Name: n.Name.Name})
+			case *ast.FuncLit:
+				name := "func"
+				if enclosing != nil {
+					name = enclosing.Name.Name + ".func"
+				}
+				out = append(out, funcBody{Body: n.Body, Decl: enclosing, Name: name})
+			}
+			return true
+		})
+	}
+	return out
+}
+
 // inspectWithStack walks root like ast.Inspect while maintaining the
 // ancestor path; fn receives each node with stack[len-1] == n.
 func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {

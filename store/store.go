@@ -300,7 +300,7 @@ func (s *Store) Flush() error {
 	if s.f == nil {
 		return fmt.Errorf("store: %s: %w", s.path, ErrClosed)
 	}
-	if err := s.f.Sync(); err != nil {
+	if err := s.f.Sync(); err != nil { //lint:allow lockorder(single-file backend: the fsync IS the serialized commit; seglog is the backend that moves it off the lock)
 		return fmt.Errorf("store: %s: %w", s.path, err)
 	}
 	return nil
