@@ -16,6 +16,7 @@ import (
 	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"varbench/internal/casestudy"
 	"varbench/internal/compare"
@@ -614,4 +615,47 @@ func BenchmarkRenderFig1(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchGuardTrial is hoisted so the no-fault benchmark measures the guard
+// machinery, not a per-iteration closure allocation.
+var benchGuardTrial TrialFunc = func(tr Trial) (float64, error) {
+	return float64(tr.Seed%1000) * 1e-3, nil
+}
+
+var sinkScore float64
+
+// BenchmarkRetryNoFault is the resilience layer's overhead gate: resolving
+// a healthy trial through the full guard stack — cache lookup, panic
+// recovery, retry bookkeeping — must stay allocation-free, so experiments
+// that never fault pay nothing for the machinery.
+func BenchmarkRetryNoFault(b *testing.B) {
+	g := &guard{
+		retry: RetryPolicy{MaxAttempts: 3}.normalized(),
+		sleep: sleepCtx,
+	}
+	ctx := context.Background()
+	var cache *trialCache // always-miss: every iteration runs the pipeline
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, f, err := cache.resolve(ctx, g, Trial{Index: i, Seed: uint64(i)}, "A", benchGuardTrial, "")
+		if err != nil || f != nil {
+			b.Fatal(err, f)
+		}
+		sinkScore += v
+	}
+}
+
+// BenchmarkRetryBackoffSchedule measures computing one deterministic
+// backoff pause — the seeded split plus jitter draw — which sits on every
+// retry between attempts.
+func BenchmarkRetryBackoffSchedule(b *testing.B) {
+	p := RetryPolicy{MaxAttempts: 8}.normalized()
+	b.ReportAllocs()
+	var d time.Duration
+	for i := 0; i < b.N; i++ {
+		d += p.Backoff(uint64(i), 1+i%7)
+	}
+	sinkScore += float64(d)
 }

@@ -46,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,12 +54,21 @@ import (
 	"syscall"
 	"time"
 
+	"varbench"
 	"varbench/internal/casestudy"
 	"varbench/internal/estimator"
 	"varbench/internal/experiments"
 	"varbench/internal/stats"
 	"varbench/internal/xrand"
+	"varbench/store"
 )
+
+// errDegraded marks a run that completed — its report was rendered — but
+// quarantined trials along the way, so the results are partial. main turns
+// it into exit code 3, distinct from hard failures (1) and interrupts
+// (130/143), so CI and supervisors can tell "usable but incomplete" from
+// "broken".
+var errDegraded = errors.New("run degraded by quarantined trials")
 
 func main() {
 	// Ctrl-C and SIGTERM cancel the collection context instead of killing
@@ -92,8 +102,45 @@ func main() {
 		// Library errors already carry the package prefix; avoid printing
 		// "varbench: varbench: ...".
 		fmt.Fprintln(os.Stderr, "varbench:", strings.TrimPrefix(err.Error(), "varbench: "))
+		if errors.Is(err, errDegraded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
+}
+
+// openStore opens a store DSN for a subcommand. With waitLock > 0 a store
+// held by another live process (store.ErrLocked) is retried on the library's
+// deterministic backoff until the lock frees or waitLock elapses, instead of
+// failing immediately — the CLI face of the non-blocking flock both engines
+// take.
+func openStore(ctx context.Context, dsn string, waitLock time.Duration) (store.Backend, error) {
+	if waitLock <= 0 {
+		return store.OpenDSN(dsn)
+	}
+	ctx, cancel := context.WithTimeout(ctx, waitLock)
+	defer cancel()
+	policy := varbench.RetryPolicy{
+		// Effectively unbounded attempts: the context deadline, not the
+		// attempt budget, decides when to give up.
+		MaxAttempts: math.MaxInt32,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Retryable:   func(err error) bool { return errors.Is(err, store.ErrLocked) },
+	}
+	var st store.Backend
+	err := policy.Do(ctx, 0, func() error {
+		var err error
+		st, err = store.OpenDSN(dsn)
+		return err
+	})
+	if err != nil {
+		if errors.Is(err, store.ErrLocked) {
+			return nil, fmt.Errorf("store %s: still locked after waiting %v: %w", dsn, waitLock, err)
+		}
+		return nil, err
+	}
+	return st, nil
 }
 
 func run(ctx context.Context, args []string, w io.Writer) error {

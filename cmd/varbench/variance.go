@@ -14,7 +14,6 @@ import (
 	"varbench/internal/experiments"
 	"varbench/internal/pipeline"
 	"varbench/internal/xrand"
-	"varbench/store"
 )
 
 // runVariance implements the `varbench variance` subcommand: a
@@ -36,6 +35,10 @@ func runVariance(ctx context.Context, args []string, w io.Writer) error {
 	format := fs.String("format", "text", "output format: text, json or csv")
 	curves := fs.Bool("curves", false, "render SE-vs-k curves (text format only)")
 	storeDir := fs.String("store", "", "durable trial-store DSN (jsonl:DIR, mem:, seglog:DIR; a bare directory means jsonl): completed measures are appended as they finish and reused on rerun, so an interrupted study resumes where it stopped")
+	waitLock := fs.Duration("wait-lock", 0, "wait up to this long for another process to release the store lock instead of failing immediately (0: fail immediately)")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial deadline; a measure running longer fails with a timeout (0: no deadline)")
+	maxRetries := fs.Int("max-retries", 0, "retries per failed trial on a deterministic seeded backoff (0: no retries)")
+	failFast := fs.Bool("fail-fast", false, "abort on the first exhausted trial even when -max-retries or -trial-timeout are set; by default those flags quarantine failed trials instead, and the run exits with code 3 if any were quarantined")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench variance [-task name] [-sources spec] [flags]")
 		fmt.Fprintln(fs.Output(), "decomposes a benchmark's variance across its sources of variation")
@@ -116,9 +119,22 @@ func runVariance(ctx context.Context, args []string, w io.Writer) error {
 		Realizations: *realizations,
 		Seed:         *seed,
 		Parallelism:  *par,
+		TrialTimeout: *trialTimeout,
+		FailFast:     *failFast,
 	}
+	if *maxRetries > 0 {
+		study.Retry = varbench.RetryPolicy{MaxAttempts: *maxRetries + 1}
+	}
+	// An explicit -fail-fast=false alone opts into quarantine mode even with
+	// no retries and no deadline; the zero Retry field would otherwise read
+	// as "no resilience configured" and keep the fail-fast default.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "fail-fast" && !*failFast && study.Retry.MaxAttempts == 0 {
+			study.Retry = varbench.RetryPolicy{MaxAttempts: 1}
+		}
+	})
 	if *storeDir != "" {
-		st, err := store.OpenDSN(*storeDir)
+		st, err := openStore(ctx, *storeDir, *waitLock)
 		if err != nil {
 			return err
 		}
@@ -141,7 +157,14 @@ func runVariance(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return rep.Render(w, ren)
+	if err := rep.Render(w, ren); err != nil {
+		return err
+	}
+	if len(rep.Failures) > 0 {
+		return fmt.Errorf("%d trial(s) quarantined — the report is partial; rerun with the same -store to retry them: %w",
+			len(rep.Failures), errDegraded)
+	}
+	return nil
 }
 
 // varianceTask resolves a task name, including the fast "tiny" study the

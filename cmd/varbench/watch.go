@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"varbench"
-	"varbench/store"
 )
 
 // runWatch implements the `varbench watch` subcommand: the incremental
@@ -32,6 +31,7 @@ func runWatch(ctx context.Context, args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "bootstrap seed")
 	id := fs.String("id", "", "pipeline ID naming this stream in the store (required with -store)")
 	storeDir := fs.String("store", "", "result-store DSN (jsonl:DIR, mem:, seglog:DIR; a bare directory means jsonl): the analysis snapshot is flushed there, and an interrupted watch resumes without recomputation")
+	waitLock := fs.Duration("wait-lock", 0, "wait up to this long for another process to release the store lock instead of failing immediately (0: fail immediately)")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: varbench watch -file scores.csv [-follow] [flags]")
@@ -67,7 +67,7 @@ func runWatch(ctx context.Context, args []string, w io.Writer) error {
 		varbench.WithSeed(*seed),
 	}
 	if *storeDir != "" {
-		st, err := store.OpenDSN(*storeDir)
+		st, err := openStore(ctx, *storeDir, *waitLock)
 		if err != nil {
 			return err
 		}
@@ -128,7 +128,11 @@ func runWatch(ctx context.Context, args []string, w io.Writer) error {
 		return nil
 	}
 	// final renders the conclusion over everything consumed, settling a
-	// stale snapshot if the persisted state ran ahead of this file.
+	// stale snapshot if the persisted state ran ahead of this file. The
+	// malformed-line count is part of the rendered summary — a conclusion
+	// that silently dropped input lines is not the conclusion it claims to
+	// be — for the text format; JSON/CSV output must stay machine-parseable,
+	// so those formats keep the count on stderr only.
 	final := func() error {
 		if stream.N() < 2 {
 			return fmt.Errorf("%s: %d score pairs is not enough to analyze (want ≥ 2)", *file, stream.N())
@@ -137,7 +141,15 @@ func runWatch(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return res.Render(w, ren)
+		if err := res.Render(w, ren); err != nil {
+			return err
+		}
+		if badLines > 0 && *format == "text" {
+			if _, err := fmt.Fprintf(w, "skipped: %d malformed line(s) — not part of the analysis\n", badLines); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	for {

@@ -18,6 +18,13 @@
 // to dir/trials.jsonl the moment it finishes, a killed experiment resumes
 // where it stopped on rerun, and an unchanged rerun replays entirely from
 // cache (watch the Progress lines complete instantly the second time).
+//
+// With -max-retries or -trial-timeout, collection is also resilient:
+// failed runs are retried on a deterministic backoff, and runs that still
+// fail are quarantined — recorded in the store, excluded from the
+// analysis, retried on the next rerun — instead of aborting the whole
+// experiment. A run that quarantined anything exits with code 3 so scripts
+// can tell "partial but usable" from success (0) and failure (1).
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"varbench"
 	"varbench/internal/casestudy"
@@ -36,7 +44,16 @@ import (
 )
 
 func main() {
-	storeDir := flag.String("store", "", "trial store DSN: jsonl:DIR, mem:, seglog:DIR or a bare directory (= jsonl); empty = recompute everything")
+	// quickstart returns the exit code so the deferred store Close runs
+	// before os.Exit — a degraded exit must not skip the flush.
+	os.Exit(quickstart())
+}
+
+func quickstart() int {
+	storeDir := flag.String("store", "", "trial store DSN: jsonl:DIR, mem:, seglog:DIR, faultinject:SCHEDULE:INNER or a bare directory (= jsonl); empty = recompute everything")
+	maxRetries := flag.Int("max-retries", 0, "retries per failed run on a deterministic seeded backoff")
+	trialTimeout := flag.Duration("trial-timeout", 0, "per-run deadline (0: none)")
+	failFast := flag.Bool("fail-fast", false, "abort on the first exhausted run instead of quarantining it")
 	flag.Parse()
 	task := casestudy.Tiny(1)
 
@@ -60,7 +77,20 @@ func main() {
 		Progress: func(p varbench.Progress) {
 			fmt.Printf("collected %d/%d pairs...\n", p.Pairs, p.MaxRuns)
 		},
+		TrialTimeout: *trialTimeout,
+		FailFast:     *failFast,
 	}
+	if *maxRetries > 0 {
+		exp.Retry = varbench.RetryPolicy{MaxAttempts: *maxRetries + 1, BaseDelay: 10 * time.Millisecond}
+	}
+	// An explicit -fail-fast=false alone means "quarantine, no retries":
+	// without it the zero Retry/TrialTimeout fields keep the fail-fast
+	// default (see varbench.Experiment.FailFast).
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fail-fast" && !*failFast && exp.Retry.MaxAttempts == 0 {
+			exp.Retry = varbench.RetryPolicy{MaxAttempts: 1}
+		}
+	})
 	if *storeDir != "" {
 		st, err := store.OpenDSN(*storeDir)
 		if err != nil {
@@ -92,4 +122,9 @@ func main() {
 	default:
 		fmt.Println("=> no reliable difference; the gap is within benchmark noise")
 	}
+	if res.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "quickstart: %d run(s) quarantined — the conclusion above is partial; rerun with the same -store to retry them\n", res.Quarantined)
+		return 3
+	}
+	return 0
 }

@@ -69,6 +69,9 @@ type Progress struct {
 	// MinRuns pairs exist, when early stopping is off, or while a resumed
 	// run replays batches a persisted analysis snapshot already covers.
 	Interim *Comparison
+	// Quarantined counts the trials quarantined so far on this dataset
+	// (always 0 in fail-fast mode, where the first failure aborts the run).
+	Quarantined int
 }
 
 // An Experiment is a declarative benchmark comparison following the paper's
@@ -165,6 +168,33 @@ type Experiment struct {
 	// (one store directory per pipeline needs no label).
 	PipelineID string
 
+	// TrialTimeout, when positive, bounds every pipeline invocation: an
+	// attempt that runs longer fails with ErrTrialTimeout (and is retried
+	// or quarantined per the other resilience knobs). The timed-out
+	// pipeline's goroutine is abandoned — a TrialFunc cannot be killed —
+	// so pipelines that can hang should also honor cancellation
+	// themselves when possible. Setting TrialTimeout opts the experiment
+	// into quarantine mode by default; see FailFast.
+	TrialTimeout time.Duration
+	// Retry re-runs failed trials with deterministic seeded backoff; see
+	// RetryPolicy. The zero value means a single attempt. Setting
+	// Retry.MaxAttempts — even to 1 — opts the experiment into quarantine
+	// mode by default; see FailFast. MaxAttempts: 1 is the idiomatic way
+	// to say "quarantine without retrying".
+	Retry RetryPolicy
+	// FailFast selects what a trial that exhausts its attempts does to the
+	// run: abort it with the trial's error (true — today's behavior and
+	// the default for experiments that configure no resilience knobs), or
+	// quarantine the failed cell and keep collecting (false). Quarantined
+	// cells are dropped from the analysis, recorded in the store under
+	// failure/... keys with their attempt history, and surfaced in the
+	// Result's failure summary; re-running with the same store retries
+	// them. Because the zero value cannot distinguish "unset" from an
+	// explicit false, a false field means "fail fast unless TrialTimeout
+	// or Retry is configured"; a true field always fails fast, and
+	// WithFailFast(false) forces quarantine mode on its own.
+	FailFast bool
+
 	// Unpaired only affects the score-level Analyze entry point; see
 	// WithUnpaired.
 	Unpaired bool
@@ -183,6 +213,17 @@ type Experiment struct {
 	gammaSet      bool
 	confidenceSet bool
 	bootstrapSet  bool
+	failFastSet   bool
+}
+
+// guard bundles the resilience knobs for the collection engine.
+func (e *Experiment) guard() *guard {
+	return &guard{
+		timeout:  e.TrialTimeout,
+		retry:    e.Retry.normalized(),
+		failFast: e.FailFast,
+		sleep:    sleepCtx,
+	}
 }
 
 // Run executes the experiment: it collects paired measurements (in
@@ -215,6 +256,7 @@ func (e Experiment) Run(ctx context.Context) (*Result, error) {
 		res.Comparison = dr.Comparison
 		res.Pairs = dr.Pairs
 		res.Runs = 2 * dr.Pairs
+		res.Quarantined = len(dr.Failures)
 		res.EarlyStopped = dr.EarlyStopped
 		res.StopReason = dr.StopReason
 		res.WilcoxonP = 1
@@ -284,6 +326,7 @@ func (e Experiment) Run(ctx context.Context) (*Result, error) {
 		res.Datasets = append(res.Datasets, *dr)
 		res.Pairs += dr.Pairs
 		res.Runs += 2 * dr.Pairs
+		res.Quarantined += len(dr.Failures)
 		if !dr.EarlyStopped {
 			earlyAll = false
 		}
@@ -299,39 +342,66 @@ func (e Experiment) Run(ctx context.Context) (*Result, error) {
 // the entry point for variance studies of a single pipeline: set Sources to
 // the sources to probe (the rest stay fixed) and summarize the spread of
 // the returned scores. Early stopping does not apply; exactly MaxRuns
-// measurements are collected unless ctx is canceled or the pipeline errors.
-// Progress, when set, fires after every batch with Interim nil.
+// measurements are collected unless ctx is canceled or the pipeline errors
+// — or, in quarantine mode, fewer when trials exhaust their attempts (use
+// collectAll via VarianceStudy, or compare len(out) to MaxRuns, to detect
+// the shortfall). Progress, when set, fires after every batch with Interim
+// nil.
 func (e Experiment) Collect(ctx context.Context) ([]float64, error) {
+	out, _, err := e.collectAll(ctx)
+	return out, err
+}
+
+// collectAll is Collect plus the quarantined-failure list, in trial-index
+// order. It is the engine behind VarianceStudy cells.
+func (e Experiment) collectAll(ctx context.Context) ([]float64, []TrialFailure, error) {
 	cfg, err := e.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.A != nil && cfg.ATrial != nil {
-		return nil, fmt.Errorf("varbench: set A or ATrial, not both")
+		return nil, nil, fmt.Errorf("varbench: set A or ATrial, not both")
 	}
 	if err := cfg.checkSources(Dataset{A: cfg.A}); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	run, err := pickRunner(cfg.ATrial, cfg.A, "A")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	g := cfg.guard()
 	stream := cfg.trialStream("")
 	cache := cfg.trialCache("")
 	batch := make([]Trial, 0, cfg.BatchSize)
+	scores := make([]float64, cfg.BatchSize)
+	fails := make([]*TrialFailure, cfg.BatchSize)
 	var out []float64
+	var failures []TrialFailure
 	for lo := 0; lo < cfg.MaxRuns; lo += cfg.BatchSize {
 		hi := min(lo+cfg.BatchSize, cfg.MaxRuns)
-		batch = stream.take(batch[:0], hi-lo)
-		out = growFloats(out, hi-lo)
-		if err := collectRuns(ctx, cache, run, batch, out[lo:hi], cfg.Parallelism); err != nil {
-			return nil, err
+		m := hi - lo
+		batch = stream.take(batch[:0], m)
+		for i := 0; i < m; i++ {
+			fails[i] = nil
+		}
+		if err := collectRuns(ctx, cache, g, run, batch, scores[:m], fails[:m], cfg.Parallelism); err != nil {
+			return nil, nil, err
+		}
+		// Compact the batch in trial-index order: successes extend out,
+		// quarantined slots extend failures. Slot placement is per-trial,
+		// so the compacted order is identical at any Parallelism.
+		for i := 0; i < m; i++ {
+			if f := fails[i]; f != nil {
+				failures = append(failures, *f)
+				continue
+			}
+			out = append(out, scores[i])
 		}
 		if cfg.Progress != nil {
-			cfg.Progress(Progress{Pairs: hi, MaxRuns: cfg.MaxRuns})
+			cfg.Progress(Progress{Pairs: len(out), MaxRuns: cfg.MaxRuns, Quarantined: len(failures)})
 		}
 	}
-	return out, nil
+	return out, failures, nil
 }
 
 // datasetList normalizes the experiment into one or more fully-specified
@@ -436,6 +506,7 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 	if err != nil {
 		return nil, err
 	}
+	g := e.guard()
 	stream := e.trialStream(ds.Name)
 	cache := e.trialCache(ds.Name)
 	label := ""
@@ -443,7 +514,11 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 		label = "dataset " + ds.Name + ": "
 	}
 	var outA, outB []float64
+	var failures []TrialFailure
 	batch := make([]Trial, 0, e.BatchSize)
+	batchA := make([]float64, e.BatchSize)
+	batchB := make([]float64, e.BatchSize)
+	fails := make([]*TrialFailure, e.BatchSize)
 	// One incremental analysis state threads through every batch boundary:
 	// each batch extends the state's K weighted resamples by its new pairs
 	// (O(K × n_new)) instead of re-running the full bootstrap on all n
@@ -470,14 +545,32 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 	n := 0
 	for lo := 0; lo < e.MaxRuns && stop == ""; lo += e.BatchSize {
 		hi := min(lo+e.BatchSize, e.MaxRuns)
-		batch = stream.take(batch[:0], hi-lo)
-		outA = growFloats(outA, hi-lo)
-		outB = growFloats(outB, hi-lo)
-		if err := collectPairs(ctx, label, cache, runA, runB, batch, outA[lo:hi], outB[lo:hi], e.Parallelism); err != nil {
+		m := hi - lo
+		batch = stream.take(batch[:0], m)
+		for i := 0; i < m; i++ {
+			fails[i] = nil
+		}
+		if err := collectPairs(ctx, label, cache, g, runA, runB, batch, batchA[:m], batchB[:m], fails[:m], e.Parallelism); err != nil {
 			return nil, err
 		}
-		n = hi
-		if err := ana.feed(outA, outB, lo, hi); err != nil {
+		// Compact the batch in trial-index order: surviving pairs extend
+		// outA/outB contiguously (the incremental analysis only ever sees
+		// successes), quarantined ones extend the failure list. MaxRuns
+		// caps attempted trial indices, not surviving pairs — a degraded
+		// run reports fewer pairs rather than drawing replacement trials,
+		// which would change every sibling's seed schedule.
+		prev := n
+		for i := 0; i < m; i++ {
+			if f := fails[i]; f != nil {
+				f.Dataset = ds.Name
+				failures = append(failures, *f)
+				continue
+			}
+			outA = append(outA, batchA[i])
+			outB = append(outB, batchB[i])
+		}
+		n = len(outA)
+		if err := ana.feed(outA, outB, prev, n); err != nil {
 			return nil, err
 		}
 		if err := ana.save(); err != nil {
@@ -492,7 +585,11 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 				return nil, err
 			}
 			lastEval = &c
-			if n < e.MaxRuns {
+			// Early-stop decisions only apply before the last scheduled
+			// batch: hi counts attempted trial indices, which is what the
+			// MaxRuns budget caps (n can trail hi when trials were
+			// quarantined).
+			if hi < e.MaxRuns {
 				switch {
 				case c.CILo > gamma:
 					stop = StopCICleared
@@ -504,11 +601,16 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 			}
 		}
 		if e.Progress != nil {
-			e.Progress(Progress{Dataset: ds.Name, Pairs: n, MaxRuns: e.MaxRuns, Interim: lastEval})
+			e.Progress(Progress{Dataset: ds.Name, Pairs: n, MaxRuns: e.MaxRuns,
+				Interim: lastEval, Quarantined: len(failures)})
 		}
 	}
 	if stop == "" {
 		stop = StopMaxRuns
+	}
+	if n < 2 && len(failures) > 0 {
+		return nil, fmt.Errorf("varbench: %sonly %d pair(s) survived collection, %d quarantined — cannot analyze: %w (first: %s)",
+			label, n, len(failures), ErrTrialFailed, failures[0].String())
 	}
 	// The state is deterministic in (scores, seed), so the evaluation that
 	// decided the stop doubles as the final result.
@@ -528,7 +630,8 @@ func (e *Experiment) runDataset(ctx context.Context, ds Dataset, gamma float64) 
 		ScoresA:      outA[:n],
 		ScoresB:      outB[:n],
 		Pairs:        n,
-		EarlyStopped: n < e.MaxRuns,
+		Failures:     failures,
+		EarlyStopped: stop != StopMaxRuns,
 		StopReason:   stop,
 	}, nil
 }

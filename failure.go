@@ -1,0 +1,123 @@
+package varbench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"varbench/internal/jsonx"
+)
+
+// FailureKind classifies why a trial was quarantined, mirroring the
+// sentinel taxonomy of retry.go.
+type FailureKind string
+
+// The failure kinds.
+const (
+	// FailureError: the pipeline (or its store write) returned an error.
+	FailureError FailureKind = "error"
+	// FailureTimeout: the pipeline exceeded Experiment.TrialTimeout.
+	FailureTimeout FailureKind = "timeout"
+	// FailurePanic: the pipeline panicked and was recovered.
+	FailurePanic FailureKind = "panic"
+)
+
+// failureKindOf maps a final trial error onto its kind via the sentinels.
+func failureKindOf(err error) FailureKind {
+	switch {
+	case errors.Is(err, ErrTrialTimeout):
+		return FailureTimeout
+	case errors.Is(err, ErrTrialPanic):
+		return FailurePanic
+	default:
+		return FailureError
+	}
+}
+
+// A TrialFailure describes one quarantined trial cell: a (trial, side)
+// measurement that exhausted its attempts in a non-FailFast run. Quarantined
+// cells are excluded from the analysis (the pair is dropped) and recorded
+// durably in the store under failure/... keys; re-running the experiment
+// with the same store retries them, so a degraded run converges to the
+// clean result on resume.
+type TrialFailure struct {
+	// Dataset is the dataset name for experiments ("" when unnamed), or the
+	// report row label ("joint", a source name) for variance studies.
+	Dataset string `json:"dataset,omitempty"`
+	// Realization is the 1-based study realization the failure belongs to;
+	// only set by VarianceStudy runs (0 for experiments).
+	Realization int `json:"realization,omitempty"`
+	// Index is the trial index within its collection stream.
+	Index int `json:"index"`
+	// Side is "A" or "B" for paired experiments, "A" for single-pipeline
+	// collections.
+	Side string `json:"side,omitempty"`
+	// Kind classifies the final error.
+	Kind FailureKind `json:"kind"`
+	// Err is the final attempt's error text.
+	Err string `json:"error"`
+	// Attempts is the number of attempts consumed, first try included.
+	Attempts int `json:"attempts"`
+}
+
+// MarshalJSON implements json.Marshaler through jsonx for consistency with
+// every other report type (see the package note in result.go).
+func (f TrialFailure) MarshalJSON() ([]byte, error) {
+	type alias TrialFailure
+	return jsonx.Marshal(alias(f))
+}
+
+// String renders the failure in one line, as the text renderers print it.
+func (f TrialFailure) String() string {
+	where := ""
+	if f.Dataset != "" {
+		where = f.Dataset + " "
+	}
+	if f.Realization > 0 {
+		where += fmt.Sprintf("realization %d ", f.Realization)
+	}
+	side := f.Side
+	if side == "" {
+		side = "A"
+	}
+	return fmt.Sprintf("%strial %d side %s: %s after %d attempt(s): %s",
+		where, f.Index, side, f.Kind, f.Attempts, f.Err)
+}
+
+// renderFailuresText writes the failure-summary section shared by the text
+// renderers: a count line followed by one indented line per quarantined
+// trial, supplied by the iterator. Nothing is written when count is 0.
+func renderFailuresText(w io.Writer, count int, each func(yield func(TrialFailure) error) error) error {
+	if count == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "quarantined: %d trial(s) — excluded from the analysis; rerun with the same store to retry them\n", count); err != nil {
+		return err
+	}
+	return each(func(f TrialFailure) error {
+		_, err := fmt.Fprintf(w, "  %s\n", f.String())
+		return err
+	})
+}
+
+// failureRecord is the JSON payload stored under store.FailureKey: the full
+// attempt history of one quarantined cell, kept for audit. It is
+// last-record-wins like every store cell; a later successful resume leaves
+// the record in place (the trial key then serves the score) — failure
+// records are never read back as results.
+type failureRecord struct {
+	Kind     FailureKind     `json:"kind"`
+	Error    string          `json:"error"`
+	Attempts []attemptRecord `json:"attempts"`
+}
+
+// attemptRecord is one entry of a failureRecord's history.
+type attemptRecord struct {
+	// Attempt is 1-based.
+	Attempt int `json:"attempt"`
+	// Error is the attempt's error text.
+	Error string `json:"error"`
+	// BackoffNS is the deterministic pause scheduled after this attempt
+	// (0 for the final attempt).
+	BackoffNS int64 `json:"backoff_ns,omitempty"`
+}

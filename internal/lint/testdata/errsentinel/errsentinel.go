@@ -13,6 +13,29 @@ import (
 var ErrClosed = errors.New("store is closed")
 var errStale = errors.New("stale snapshot")
 
+// The resilience-layer sentinel family: classification must go through
+// errors.Is so retry/quarantine decisions survive wrapping.
+var ErrTrialTimeout = errors.New("trial timed out")
+var ErrInjected = errors.New("injected fault")
+
+func classify(err error) string {
+	if err == ErrTrialTimeout { // want `\[errsentinel\] sentinel error ErrTrialTimeout compared with ==; a wrapped error never matches`
+		return "timeout"
+	}
+	if errors.Is(err, ErrInjected) {
+		return "injected"
+	}
+	return "other"
+}
+
+func injectOK(op string, n int) error {
+	return fmt.Errorf("store: %w: %s call %d", ErrInjected, op, n)
+}
+
+func timeoutBad(err error) error {
+	return fmt.Errorf("giving up: %s", ErrTrialTimeout) // want `\[errsentinel\] sentinel error ErrTrialTimeout formatted with %s`
+}
+
 func compare(err error) bool {
 	if err == ErrClosed { // want `\[errsentinel\] sentinel error ErrClosed compared with ==; a wrapped error never matches`
 		return true

@@ -3,6 +3,7 @@ package varbench
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"varbench/internal/stats"
 	"varbench/store"
@@ -118,6 +119,37 @@ func WithUnpaired() Option { return func(e *Experiment) { e.Unpaired = true } }
 // WithProgress installs a callback invoked after every collected batch.
 func WithProgress(f func(Progress)) Option { return func(e *Experiment) { e.Progress = f } }
 
+// WithTrialTimeout bounds every pipeline invocation: an attempt running
+// longer fails with ErrTrialTimeout. Setting a timeout opts the experiment
+// into quarantine mode by default; see Experiment.FailFast. An explicit
+// negative value is rejected; 0 means "no deadline".
+func WithTrialTimeout(d time.Duration) Option {
+	return func(e *Experiment) { e.TrialTimeout = d }
+}
+
+// WithRetry installs a retry policy for failed trials; see RetryPolicy.
+// Setting a policy (any non-zero MaxAttempts) opts the experiment into
+// quarantine mode by default; see Experiment.FailFast.
+func WithRetry(p RetryPolicy) Option {
+	return func(e *Experiment) { e.Retry = p }
+}
+
+// WithMaxRetries is shorthand for WithRetry with n retries after the first
+// attempt (MaxAttempts = n+1) and default backoff.
+func WithMaxRetries(n int) Option {
+	return func(e *Experiment) { e.Retry = RetryPolicy{MaxAttempts: n + 1} }
+}
+
+// WithFailFast selects explicitly between aborting on the first exhausted
+// trial (true) and quarantining failed cells (false), overriding the
+// default inferred from the other resilience knobs. Unlike the
+// Experiment.FailFast field — whose zero value means "fail fast unless
+// TrialTimeout or Retry is configured" — WithFailFast(false) alone is
+// honored: it enables quarantine mode with single attempts and no deadline.
+func WithFailFast(v bool) Option {
+	return func(e *Experiment) { e.FailFast = v; e.failFastSet = true }
+}
+
 // withDefaults returns a copy of e with zero-valued protocol knobs replaced
 // by their defaults, and rejects out-of-range settings.
 func (e *Experiment) withDefaults() (*Experiment, error) {
@@ -183,6 +215,19 @@ func (e *Experiment) withDefaults() (*Experiment, error) {
 	}
 	if c.AnalysisParallelism == 0 {
 		c.AnalysisParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.TrialTimeout < 0 {
+		return nil, fmt.Errorf("varbench: TrialTimeout must not be negative, got %v (0 means no deadline)", c.TrialTimeout)
+	}
+	if err := c.Retry.validate(); err != nil {
+		return nil, err
+	}
+	// FailFast defaults on — today's behavior — unless the spec configures
+	// a resilience knob, which opts it into quarantine mode. A true field
+	// is always honored (fail fast even with retries/deadlines); an
+	// explicit WithFailFast(false) forces quarantine mode on its own.
+	if !c.failFastSet && !c.FailFast {
+		c.FailFast = c.Retry.MaxAttempts == 0 && c.TrialTimeout == 0
 	}
 	return &c, nil
 }

@@ -103,6 +103,10 @@ type DatasetResult struct {
 	Pairs        int        `json:"pairs"`
 	EarlyStopped bool       `json:"early_stopped"`
 	StopReason   StopReason `json:"stop_reason,omitempty"`
+	// Failures lists the trials quarantined during collection, in trial
+	// order. Only non-empty in quarantine mode (FailFast false); the
+	// quarantined pairs are excluded from Pairs and from the analysis.
+	Failures []TrialFailure `json:"failures,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler, encoding non-finite float fields
@@ -140,6 +144,12 @@ type Result struct {
 	// pipeline executions (2 per pair).
 	Pairs int `json:"pairs"`
 	Runs  int `json:"runs"`
+	// Quarantined counts trials that exhausted their attempts and were
+	// excluded from the analysis, across all datasets; the per-dataset
+	// Failures entries carry the details. A non-zero count marks a
+	// degraded (but still valid) run: re-running with the same store
+	// retries exactly the quarantined cells.
+	Quarantined int `json:"quarantined,omitempty"`
 	// EarlyStopped reports whether collection ended before MaxRuns (for
 	// multi-dataset runs: on every dataset).
 	EarlyStopped bool `json:"early_stopped"`
@@ -230,6 +240,18 @@ func (t TextRenderer) Render(w io.Writer, r *Result) error {
 			return err
 		}
 	}
+	if err := renderFailuresText(w, r.Quarantined, func(yield func(TrialFailure) error) error {
+		for _, d := range r.Datasets {
+			for _, f := range d.Failures {
+				if err := yield(f); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
 	if t.Scores {
 		for _, d := range r.Datasets {
 			label := d.Name
@@ -274,7 +296,7 @@ func (CSVRenderer) Render(w io.Writer, r *Result) error {
 	tb := &report.Table{
 		Headers: []string{"experiment", "dataset", "pairs", "mean_a", "mean_b",
 			"pab", "ci_lo", "ci_hi", "gamma", "recommended_n", "conclusion",
-			"early_stopped", "stop_reason"},
+			"early_stopped", "stop_reason", "quarantined"},
 	}
 	for _, d := range r.Datasets {
 		tb.Rows = append(tb.Rows, []string{
@@ -284,6 +306,7 @@ func (CSVRenderer) Render(w io.Writer, r *Result) error {
 			g(d.Comparison.Gamma), strconv.Itoa(d.Comparison.RecommendedN),
 			string(d.Comparison.Conclusion),
 			strconv.FormatBool(d.EarlyStopped), string(d.StopReason),
+			strconv.Itoa(len(d.Failures)),
 		})
 	}
 	return tb.WriteCSV(w)

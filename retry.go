@@ -1,0 +1,168 @@
+package varbench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"varbench/internal/xrand"
+)
+
+// The resilience layer's error taxonomy. Every trial that exhausts its
+// attempts fails with an error matching exactly one of these sentinels via
+// errors.Is, so callers can classify failures without parsing messages:
+//
+//   - ErrTrialTimeout: the pipeline ran past Experiment.TrialTimeout.
+//   - ErrTrialPanic: the pipeline panicked; the panic was recovered and the
+//     process kept running.
+//   - ErrTrialFailed: any other pipeline error (the pipeline returned err).
+//
+// Context cancellation is deliberately outside the taxonomy: a canceled
+// trial is the pool shutting down, not a trial fault, and is never retried
+// or quarantined.
+var (
+	// ErrTrialFailed marks a trial whose pipeline returned an error.
+	ErrTrialFailed = errors.New("trial failed")
+	// ErrTrialTimeout marks a trial that exceeded its per-trial deadline.
+	ErrTrialTimeout = errors.New("trial timed out")
+	// ErrTrialPanic marks a trial whose pipeline panicked.
+	ErrTrialPanic = errors.New("trial panicked")
+)
+
+// Default knobs of a RetryPolicy; see RetryPolicy.
+const (
+	// DefaultRetryBaseDelay is the backoff before the first retry.
+	DefaultRetryBaseDelay = 10 * time.Millisecond
+	// DefaultRetryMaxDelay caps the exponential backoff growth.
+	DefaultRetryMaxDelay = 1 * time.Second
+)
+
+// A RetryPolicy re-runs failed trials with deterministic seeded exponential
+// backoff. The zero value means "no retries" (a single attempt); set
+// MaxAttempts ≥ 2 to retry. Because the backoff pause before retry k is a
+// pure function of (trial seed, k) — the jitter derives from internal/xrand,
+// never from wall clock or a global RNG — a rerun of the same experiment
+// retries on the identical schedule, keeping resilient collections
+// bit-identical end to end.
+//
+// A RetryPolicy also drives non-trial waits that want the same deterministic
+// schedule, e.g. the CLI's -wait-lock loop around store.ErrLocked, through
+// Do.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per trial, first try
+	// included. 0 means 1 (no retries). Setting it — even to 1 — counts as
+	// configuring resilience and opts an Experiment into quarantine mode by
+	// default; see Experiment.FailFast.
+	MaxAttempts int
+	// BaseDelay is the pause before the first retry (default 10ms). The
+	// pause before retry k is min(MaxDelay, BaseDelay·2^(k-1)), scaled by a
+	// seed-derived jitter factor in [0.5, 1.5).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 1s).
+	MaxDelay time.Duration
+	// Retryable classifies errors: return false to fail immediately without
+	// consuming the remaining attempts. nil retries every error except
+	// context cancellation, which is never retried regardless.
+	Retryable func(error) bool
+}
+
+// normalized returns a copy of p with zero-valued knobs replaced by their
+// defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryMaxDelay
+	}
+	return p
+}
+
+// validate rejects explicitly negative knobs, mirroring the Experiment
+// convention that zero means "default" and negatives are deliberate errors.
+func (p RetryPolicy) validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("varbench: RetryPolicy.MaxAttempts must not be negative, got %d (0 means 1 attempt)", p.MaxAttempts)
+	}
+	if p.BaseDelay < 0 {
+		return fmt.Errorf("varbench: RetryPolicy.BaseDelay must not be negative, got %v (0 means default)", p.BaseDelay)
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("varbench: RetryPolicy.MaxDelay must not be negative, got %v (0 means default)", p.MaxDelay)
+	}
+	return nil
+}
+
+// retryable reports whether err should consume another attempt. Context
+// cancellation never does: the pool is shutting down, and retrying would
+// just burn the remaining attempts against a dead context.
+func (p RetryPolicy) retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return true
+}
+
+// Backoff returns the pause before retry attempt (1-based: the pause after
+// the attempt-th failed attempt). It is a pure function of (seed, attempt):
+// exponential growth min(MaxDelay, BaseDelay·2^(attempt-1)) scaled by a
+// jitter factor in [0.5, 1.5) drawn from an xrand stream labeled by the
+// attempt, so concurrent trials with distinct seeds spread out while a
+// rerun of the same trial backs off identically.
+func (p RetryPolicy) Backoff(seed uint64, attempt int) time.Duration {
+	p = p.normalized()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	jitter := 0.5 + xrand.New(seed).Split(fmt.Sprintf("retry/attempt/%d", attempt)).Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Do runs fn under the policy: on a retryable error it sleeps the
+// deterministic Backoff for the attempt and tries again, up to MaxAttempts
+// total attempts. The returned error is fn's last error; if ctx is canceled
+// mid-backoff, Do returns early with an error matching both ctx.Err() and
+// fn's last error via errors.Is. The no-fault fast path (fn succeeds on the
+// first attempt) performs no allocation.
+func (p RetryPolicy) Do(ctx context.Context, seed uint64, fn func() error) error {
+	p = p.normalized()
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil || attempt >= p.MaxAttempts || !p.retryable(err) {
+			return err
+		}
+		if serr := sleepCtx(ctx, p.Backoff(seed, attempt)); serr != nil {
+			return fmt.Errorf("varbench: retry canceled after %d attempt(s): %w (last error: %w)", attempt, serr, err)
+		}
+	}
+}
+
+// sleepCtx pauses for d or until ctx is done, whichever comes first,
+// returning ctx.Err() in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -9,6 +9,13 @@ import "errors"
 // Close. Check with errors.Is; backends may wrap it with location context.
 var ErrClosed = errors.New("store is closed")
 
+// ErrLocked is returned by Open/OpenSegLog when another live process holds
+// the store's advisory lock. It is transient by nature — the lock drops the
+// moment the other process exits — which makes it the canonical retryable
+// open error (the varbench CLI's -wait-lock flag retries exactly this).
+// Check with errors.Is.
+var ErrLocked = errors.New("store is locked")
+
 // Backend is the trial-store contract every storage engine implements: a
 // durable (or deliberately ephemeral) map from (key, fingerprint) cells to
 // either a float64 score or a JSON payload, with last-record-wins

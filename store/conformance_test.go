@@ -68,6 +68,45 @@ func conformanceFixtures() []backendFixture {
 					[]byte{0xF0, 0x00, 0x00, 0x00, 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02})
 			},
 		},
+		// The fault-injection wrapper with an empty schedule must be a
+		// transparent proxy: the whole contract holds through it, over both
+		// durable engines. Opened through the DSN factory so the
+		// faultinject:SCHEDULE:INNER_DSN parsing rides the suite too.
+		{
+			name:    "faultinject-jsonl",
+			durable: true,
+			open: func(t *testing.T, dir string) Backend {
+				s, err := OpenDSN("faultinject::jsonl:" + dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			tear: func(t *testing.T, dir string) {
+				appendBytes(t, filepath.Join(dir, LogName),
+					[]byte(`{"key":"torn","fp":"f","sco`))
+			},
+		},
+		{
+			name:    "faultinject-seglog",
+			durable: true,
+			open: func(t *testing.T, dir string) Backend {
+				s, err := OpenDSN("faultinject::seglog:"+dir,
+					WithFlushInterval(time.Millisecond))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			tear: func(t *testing.T, dir string) {
+				ns, err := segments(dir)
+				if err != nil || len(ns) == 0 {
+					t.Fatalf("segments: %v (%d)", err, len(ns))
+				}
+				appendBytes(t, filepath.Join(dir, segName(ns[len(ns)-1])),
+					[]byte{0xF0, 0x00, 0x00, 0x00, 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02})
+			},
+		},
 	}
 }
 

@@ -11,6 +11,13 @@ import (
 //	mem:         an in-memory store; nothing survives the process
 //	seglog:DIR   the segmented binary log with group-commit coalescing
 //
+//	faultinject:SCHEDULE:INNER_DSN
+//	             a fault-injection wrapper around any of the above, failing
+//	             scripted calls per SCHEDULE (see ParseFaultSchedule), e.g.
+//	             faultinject:put@4-7:jsonl:cache or
+//	             faultinject:put~0.2/42:seglog:cache. An empty SCHEDULE
+//	             injects nothing. For testing fault tolerance.
+//
 // A DSN with no recognizable scheme — a bare directory like "cache",
 // "./cache" or "/tmp/cache", including Windows drive paths — opens the
 // jsonl backend on that directory, so every pre-DSN store argument keeps
@@ -37,8 +44,22 @@ func OpenDSN(dsn string, opts ...SegLogOption) (Backend, error) {
 			return nil, fmt.Errorf("store: DSN %q: seglog: needs a directory, e.g. seglog:cache", dsn)
 		}
 		return OpenSegLog(rest, opts...)
+	case "faultinject":
+		schedule, inner, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("store: DSN %q: faultinject: want faultinject:SCHEDULE:INNER_DSN, e.g. faultinject:put@4-7:jsonl:cache", dsn)
+		}
+		rules, err := ParseFaultSchedule(schedule)
+		if err != nil {
+			return nil, fmt.Errorf("store: DSN %q: %w", dsn, err)
+		}
+		b, err := OpenDSN(inner, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return NewFaultInject(b, rules), nil
 	default:
-		return nil, fmt.Errorf("store: DSN %q: unknown scheme %q (valid: jsonl:DIR, mem:, seglog:DIR; a bare path means jsonl)", dsn, scheme)
+		return nil, fmt.Errorf("store: DSN %q: unknown scheme %q (valid: jsonl:DIR, mem:, seglog:DIR, faultinject:SCHEDULE:INNER_DSN; a bare path means jsonl)", dsn, scheme)
 	}
 }
 

@@ -1,0 +1,51 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOpenContentionReturnsErrLocked pins the flock contract both engines
+// share: a second open of a live store fails immediately (non-blocking)
+// with an errors.Is-able ErrLocked, and succeeds the moment the holder
+// closes — the behavior the CLI's -wait-lock retry loop is built on.
+func TestOpenContentionReturnsErrLocked(t *testing.T) {
+	t.Run("jsonl", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir); !errors.Is(err, ErrLocked) {
+			t.Fatalf("second Open: %v, want ErrLocked", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open after holder closed: %v", err)
+		}
+		re.Close()
+	})
+	t.Run("seglog", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := OpenSegLog(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSegLog(dir); !errors.Is(err, ErrLocked) {
+			t.Fatalf("second OpenSegLog: %v, want ErrLocked", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenSegLog(dir)
+		if err != nil {
+			t.Fatalf("OpenSegLog after holder closed: %v", err)
+		}
+		re.Close()
+	})
+}

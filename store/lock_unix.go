@@ -19,7 +19,7 @@ import (
 func lockFile(f *os.File) error {
 	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
 	if errors.Is(err, syscall.EWOULDBLOCK) {
-		return fmt.Errorf("store: %s is locked by another process (the lock is released automatically when that process exits)", f.Name())
+		return fmt.Errorf("store: %w: %s is held by another process (the lock is released automatically when that process exits)", ErrLocked, f.Name())
 	}
 	if err != nil {
 		return fmt.Errorf("store: locking %s: %w", f.Name(), err)

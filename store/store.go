@@ -341,6 +341,17 @@ func TrialKey(seed uint64, dataset string, index int, side string) string {
 	return fmt.Sprintf("trial/seed=%d/dataset=%s/run=%d/%s", seed, dataset, index, side)
 }
 
+// FailureKey names one quarantined trial cell, addressing the same
+// (seed, dataset, index, side) coordinates as TrialKey under the failure/
+// prefix. The payload is the trial's attempt history (varbench's
+// failureRecord JSON); it is written for audit when a non-FailFast run
+// exhausts the cell's retry budget and never read back as a result — a
+// later successful resume writes the trial/ key and the failure record
+// simply stays behind as history.
+func FailureKey(seed uint64, dataset string, index int, side string) string {
+	return fmt.Sprintf("failure/seed=%d/dataset=%s/run=%d/%s", seed, dataset, index, side)
+}
+
 // AnalysisKey names one resumable analysis identity: the root seed of the
 // bootstrap randomness plus a scope label (a dataset name for experiment
 // runs, a caller-chosen stream ID for streaming analyses). Analysis

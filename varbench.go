@@ -76,7 +76,10 @@ func CollectPaired(a, b RunFunc, n int, baseSeed uint64) (scoresA, scoresB []flo
 	}
 	scoresA = make([]float64, n)
 	scoresB = make([]float64, n)
-	if err := collectPairs(context.Background(), "", nil, runA, runB, e.makeTrials(""), scoresA, scoresB, 1); err != nil {
+	// Legacy fail-fast semantics: no deadline, no retries, first error
+	// aborts, so the fails slice is never written and may be nil.
+	g := &guard{retry: RetryPolicy{}.normalized(), failFast: true, sleep: sleepCtx}
+	if err := collectPairs(context.Background(), "", nil, g, runA, runB, e.makeTrials(""), scoresA, scoresB, nil, 1); err != nil {
 		return nil, nil, err
 	}
 	return scoresA, scoresB, nil

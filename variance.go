@@ -82,6 +82,21 @@ type VarianceStudy struct {
 	// setting.
 	Parallelism int
 
+	// TrialTimeout, Retry and FailFast mirror the Experiment resilience
+	// knobs; they thread into every collection cell. A false FailFast
+	// means "fail fast unless TrialTimeout or Retry is configured" (the
+	// study has no option form to disambiguate an explicit false; use
+	// Retry{MaxAttempts: 1} to opt into quarantine without retries). In
+	// quarantine mode a cell with any quarantined measure drops its whole
+	// realization — a partial realization would bias the SE-vs-k curves —
+	// and the study degrades to the surviving realizations per row,
+	// erroring only when fewer than 2 survive. Dropped measures are listed
+	// in VarianceReport.Failures and recorded under store failure/... keys;
+	// re-running with the same store retries exactly the failed cells.
+	TrialTimeout time.Duration
+	Retry        RetryPolicy
+	FailFast     bool
+
 	// Store, when set, makes the study durable and resumable: every
 	// completed measure is appended immediately, and cells already recorded
 	// are served from the store, so an interrupted Run resumes exactly
@@ -147,6 +162,15 @@ func (s VarianceStudy) withDefaults() (VarianceStudy, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.TrialTimeout < 0 {
+		return c, fmt.Errorf("varbench: TrialTimeout must not be negative, got %v (0 means no deadline)", c.TrialTimeout)
+	}
+	if err := c.Retry.validate(); err != nil {
+		return c, err
+	}
+	if !c.FailFast {
+		c.FailFast = c.Retry.MaxAttempts == 0 && c.TrialTimeout == 0
+	}
 	return c, nil
 }
 
@@ -197,31 +221,57 @@ func (s VarianceStudy) Run(ctx context.Context) (*VarianceReport, error) {
 	for row := range measures {
 		measures[row] = make([][]float64, cfg.Realizations)
 	}
+	cellFails := make([][]TrialFailure, len(cells))
 	// The cell receives collectN's pool context, not Run's: when a sibling
 	// cell fails, the pool cancels and every in-flight cell stops between
 	// its own measures instead of finishing all K of them.
 	collect := func(cellCtx context.Context, i int) error {
 		c := cells[i]
 		e := Experiment{
-			ATrial:      cfg.Pipeline,
-			Sources:     rowSources[c.row],
-			MaxRuns:     cfg.K,
-			BatchSize:   cfg.K,
-			Parallelism: 1, // the pool parallelizes across cells, not within
-			Store:       cfg.Store,
-			PipelineID:  cfg.PipelineID,
+			ATrial:       cfg.Pipeline,
+			Sources:      rowSources[c.row],
+			MaxRuns:      cfg.K,
+			BatchSize:    cfg.K,
+			Parallelism:  1, // the pool parallelizes across cells, not within
+			Store:        cfg.Store,
+			PipelineID:   cfg.PipelineID,
+			TrialTimeout: cfg.TrialTimeout,
+			Retry:        cfg.Retry,
+			FailFast:     cfg.FailFast,
+		}
+		if !cfg.FailFast {
+			// The study's withDefaults already resolved the tri-state; pin
+			// the inner experiment to quarantine explicitly so its own
+			// inference cannot flip it back to fail-fast.
+			WithFailFast(false)(&e)
 		}
 		WithSeed(roots[c.realization])(&e)
-		out, err := e.Collect(cellCtx)
+		label := rowLabel(rowSources[c.row], c.row == jointRow)
+		out, fails, err := e.collectAll(cellCtx)
 		if err != nil {
 			return fmt.Errorf("variance source %q realization %d: %w",
-				rowLabel(rowSources[c.row], c.row == jointRow), c.realization, err)
+				label, c.realization, err)
+		}
+		if len(fails) > 0 {
+			// Any quarantined measure drops the whole realization for this
+			// row: a partial cell would bias the SE-vs-k curve, and the
+			// dropped cell's store records make the resume retry exactly it.
+			for j := range fails {
+				fails[j].Dataset = label
+				fails[j].Realization = c.realization + 1
+			}
+			cellFails[i] = fails
+			return nil
 		}
 		measures[c.row][c.realization] = out
 		return nil
 	}
 	if err := collectN(ctx, len(cells), cfg.Parallelism, collect); err != nil {
 		return nil, err
+	}
+	var failures []TrialFailure
+	for _, fs := range cellFails {
+		failures = append(failures, fs...)
 	}
 
 	rep := &VarianceReport{
@@ -239,8 +289,13 @@ func (s VarianceStudy) Run(ctx context.Context) (*VarianceReport, error) {
 	var totalVar float64
 	rows := make([]SourceVariance, nRows)
 	for row := range rows {
-		sv, err := summarizeRow(rowLabel(rowSources[row], row == jointRow),
-			measures[row], rep.Mu, ks)
+		label := rowLabel(rowSources[row], row == jointRow)
+		kept := surviving(measures[row])
+		if len(kept) < len(measures[row]) && len(kept) < 2 {
+			return nil, fmt.Errorf("varbench: source %q: only %d of %d realizations survived quarantine (%d measure(s) failed): %w",
+				label, len(kept), cfg.Realizations, len(failures), ErrTrialFailed)
+		}
+		sv, err := summarizeRow(label, kept, rep.Mu, ks)
 		if err != nil {
 			return nil, err
 		}
@@ -259,6 +314,7 @@ func (s VarianceStudy) Run(ctx context.Context) (*VarianceReport, error) {
 	}
 	rep.Sources = rows[:jointRow]
 	rep.Joint = rows[jointRow]
+	rep.Failures = failures
 	rep.Elapsed = time.Since(start) //lint:allow nondeterm(Elapsed is wall-clock metadata, not part of the deterministic result)
 	return rep, nil
 }
@@ -309,6 +365,18 @@ func summarizeRow(label string, matrix [][]float64, mu float64, ks []int) (Sourc
 		},
 		Measures: matrix,
 	}, nil
+}
+
+// surviving drops the nil (quarantined) realizations of one row's measure
+// matrix, preserving realization order.
+func surviving(matrix [][]float64) [][]float64 {
+	out := make([][]float64, 0, len(matrix))
+	for _, row := range matrix {
+		if row != nil {
+			out = append(out, row)
+		}
+	}
+	return out
 }
 
 func flatten(matrix [][]float64) []float64 {

@@ -101,6 +101,10 @@ type VarianceReport struct {
 	// Joint is the all-probed-sources row (fresh seed for every probed
 	// source on every measure).
 	Joint SourceVariance `json:"joint"`
+	// Failures lists the quarantined trials of a non-FailFast study. Any
+	// quarantined measure drops its whole realization from the analysis;
+	// Dataset holds the report row label, Realization is 1-based.
+	Failures []TrialFailure `json:"failures,omitempty"`
 	// Elapsed is the wall-clock collection time.
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 }
@@ -170,6 +174,17 @@ func (t VarianceTextRenderer) Render(w io.Writer, r *VarianceReport) error {
 		report.FormatFloat(r.Mu), r.K, r.Realizations, r.Seed); err != nil {
 		return err
 	}
+	err := renderFailuresText(w, len(r.Failures), func(yield func(TrialFailure) error) error {
+		for _, f := range r.Failures {
+			if err := yield(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	if !t.Curves {
 		return nil
 	}
@@ -214,7 +229,11 @@ func (VarianceCSVRenderer) Render(w io.Writer, r *VarianceReport) error {
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	tb := &report.Table{
 		Headers: []string{"study", "source", "k", "realizations", "mean", "std",
-			"share", "bias", "var", "rho", "mse"},
+			"share", "bias", "var", "rho", "mse", "quarantined"},
+	}
+	quarantined := make(map[string]int, len(r.Failures))
+	for _, f := range r.Failures {
+		quarantined[f.Dataset]++
 	}
 	for _, row := range r.Rows() {
 		d := row.Decomposition
@@ -222,6 +241,7 @@ func (VarianceCSVRenderer) Render(w io.Writer, r *VarianceReport) error {
 			r.Name, row.Source, strconv.Itoa(r.K), strconv.Itoa(r.Realizations),
 			g(row.Mean), g(row.Std), g(row.Share),
 			g(d.Bias), g(d.Var), g(d.Rho), g(d.MSE),
+			strconv.Itoa(quarantined[row.Source]),
 		})
 	}
 	return tb.WriteCSV(w)
